@@ -1,0 +1,277 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark runs a scaled-down but shape-preserving
+// version of the corresponding experiment; the cmd/ tools run the full
+// protocols (see EXPERIMENTS.md for recorded paper-vs-measured results).
+//
+//	go test -bench=. -benchmem
+package statsize
+
+import (
+	"fmt"
+	"testing"
+
+	"statsize/internal/core"
+	"statsize/internal/experiments"
+)
+
+// benchOpts is the scaled-down experiment configuration used by the
+// table/figure benchmarks.
+func benchOpts(circuits ...string) experiments.Options {
+	return experiments.Options{
+		Circuits:        circuits,
+		Iterations:      6,
+		TimedIterations: 2,
+		Bins:            400,
+		MCSamples:       800,
+		TracePoints:     3,
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 rows (deterministic vs statistical
+// 99-percentile delay at equal area).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchOpts("c432"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 rows (brute force vs accelerated
+// per-iteration runtime and pruning rate).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchOpts("c432"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Factor <= 0 {
+			b.Fatal("bad factor")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the path-wall comparison of Figure 1.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1("c432", benchOpts("c432")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the single-step CDF perturbation of
+// Figure 2.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2("c432", benchOpts("c432")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the area-delay curves with Monte Carlo
+// validation (the paper plots c3540; the benchmark uses c432 to stay
+// fast — cmd/figure10 runs the paper's circuit).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10("c432", benchOpts("c432")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoundsVsMC regenerates the Section 4 accuracy check (SSTA
+// bound vs Monte Carlo at the 99th percentile).
+func BenchmarkBoundsVsMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BoundsVsMC(benchOpts("c432", "c880")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSTA measures one full statistical timing analysis pass per
+// circuit — the inner building block whose cost Table 2's brute force
+// multiplies by the gate count.
+func BenchmarkSSTA(b *testing.B) {
+	for _, name := range []string{"c432", "c880", "c2670", "c6288"} {
+		b.Run(name, func(b *testing.B) {
+			d, err := Benchmark(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeSSTA(d, 600); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSizingIteration measures one coordinate-descent iteration of
+// each statistical optimizer — the per-iteration times behind Table 2.
+func BenchmarkSizingIteration(b *testing.B) {
+	for _, method := range []string{"brute", "accel"} {
+		for _, name := range []string{"c432", "c880"} {
+			b.Run(fmt.Sprintf("%s/%s", method, name), func(b *testing.B) {
+				d, err := Benchmark(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := Config{MaxIterations: 1, Bins: 400}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fresh := d.Clone()
+					b.StartTimer()
+					var err error
+					if method == "brute" {
+						_, err = OptimizeBruteForce(fresh, cfg)
+					} else {
+						_, err = OptimizeAccelerated(fresh, cfg)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPruning quantifies the value of the paper's pruning
+// bound: the same accelerated machinery with pruning disabled.
+func BenchmarkAblationPruning(b *testing.B) {
+	for _, pruning := range []bool{true, false} {
+		name := "on"
+		if !pruning {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := Benchmark("c432")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{MaxIterations: 2, Bins: 400, DisablePruning: !pruning}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := d.Clone()
+				b.StartTimer()
+				if _, err := core.Accelerated(fresh, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationElision quantifies the dead-front elision (an
+// exactness-preserving engineering addition on top of the paper).
+func BenchmarkAblationElision(b *testing.B) {
+	for _, elision := range []bool{true, false} {
+		name := "on"
+		if !elision {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := Benchmark("c432")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{MaxIterations: 2, Bins: 400, DisableDeadFrontElision: !elision}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := d.Clone()
+				b.StartTimer()
+				if _, err := core.Accelerated(fresh, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGridResolution sweeps the SSTA bin budget — the
+// accuracy/runtime knob of the discretized framework.
+func BenchmarkGridResolution(b *testing.B) {
+	for _, bins := range []int{200, 400, 800, 1600} {
+		b.Run(fmt.Sprintf("bins%d", bins), func(b *testing.B) {
+			d, err := Benchmark("c880")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeSSTA(d, bins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarlo measures the Figure 10 validation cost.
+func BenchmarkMonteCarlo(b *testing.B) {
+	d, err := Benchmark("c3540")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarlo(d, 1000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathHistogram measures the exact Figure 1 path-count DP.
+func BenchmarkPathHistogram(b *testing.B) {
+	d, err := Benchmark("c3540")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := AnalyzeSTA(d).CircuitDelay() / 150
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := PathHistogram(d, bin); h.NumPaths() <= 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkHeuristicMode measures the paper's future-work heuristic
+// (fronts cut off after k levels) against the exact algorithm.
+func BenchmarkHeuristicMode(b *testing.B) {
+	for _, levels := range []int{0, 2, 4} {
+		name := "exact"
+		if levels > 0 {
+			name = fmt.Sprintf("levels%d", levels)
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := Benchmark("c880")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := Config{MaxIterations: 2, Bins: 400, HeuristicLevels: levels}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := d.Clone()
+				b.StartTimer()
+				if _, err := OptimizeAccelerated(fresh, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+// Command figure1 regenerates the paper's Figure 1: after equal-area
+// optimization, the deterministic baseline piles paths into a "wall"
+// just below the critical delay while the statistical optimizer keeps
+// the path profile unbalanced — and wins on statistical circuit delay.
+//
+// Usage:
+//
+//	figure1 [-circuit c432] [-iters N] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsize/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	resolve := experiments.FlagOptions(fs)
+	circuit := fs.String("circuit", "c432", "circuit to profile")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	res, err := experiments.Figure1(*circuit, resolve())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,41 @@
+// Command figure10 regenerates the paper's Figure 10: the area-delay
+// trade-off curves of deterministic and statistical optimization, each
+// point evaluated with both the SSTA bound and Monte Carlo (the paper
+// plots c3540).
+//
+// Usage:
+//
+//	figure10 [-circuit c3540] [-iters N] [-samples M] [-full] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsize/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("figure10", flag.ExitOnError)
+	resolve := experiments.FlagOptions(fs)
+	circuit := fs.String("circuit", "c3540", "circuit to trace")
+	csv := fs.Bool("csv", false, "emit curve points as CSV")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	res, err := experiments.Figure10(*circuit, resolve())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure10:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = res.CSV(os.Stdout)
+	} else {
+		err = res.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure10:", err)
+		os.Exit(1)
+	}
+}

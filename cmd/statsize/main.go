@@ -1,0 +1,127 @@
+// Command statsize sizes a single circuit with any of the three
+// optimizers and reports the timing before and after, optionally dumping
+// the optimized netlist and a per-iteration trace.
+//
+// Usage:
+//
+//	statsize -circuit c432 -method accel -iters 100
+//	statsize -bench mydesign.bench -method brute -iters 20 -trace
+//	statsize -circuit c880 -method det -area-cap 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsize"
+	"statsize/internal/report"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "benchmark name (c17, c432 .. c7552)")
+	bench := flag.String("bench", "", "path to an ISCAS .bench netlist (alternative to -circuit)")
+	method := flag.String("method", "accel", "optimizer: det | brute | accel")
+	iters := flag.Int("iters", 100, "maximum sizing iterations")
+	bins := flag.Int("bins", 600, "SSTA grid bins")
+	areaCap := flag.Float64("area-cap", 0, "stop after this relative area increase (0.25 = +25%)")
+	percentile := flag.Float64("p", 0.99, "objective percentile")
+	multi := flag.Int("multi", 1, "gates sized per iteration")
+	heuristic := flag.Int("heuristic-levels", 0, "approximate mode: stop fronts after N levels")
+	trace := flag.Bool("trace", false, "print a per-iteration trace table")
+	mcSamples := flag.Int("mc", 0, "validate the result with N Monte Carlo samples")
+	flag.Parse()
+
+	if err := run(*circuit, *bench, *method, *iters, *bins, *areaCap, *percentile,
+		*multi, *heuristic, *trace, *mcSamples); err != nil {
+		fmt.Fprintln(os.Stderr, "statsize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuit, bench, method string, iters, bins int, areaCap, percentile float64,
+	multi, heuristic int, trace bool, mcSamples int) error {
+	var d *statsize.Design
+	var err error
+	switch {
+	case circuit != "" && bench != "":
+		return fmt.Errorf("use either -circuit or -bench, not both")
+	case circuit != "":
+		d, err = statsize.Benchmark(circuit)
+	case bench != "":
+		var f *os.File
+		f, err = os.Open(bench)
+		if err == nil {
+			defer f.Close()
+			d, err = statsize.LoadBench(f, bench)
+		}
+	default:
+		return fmt.Errorf("one of -circuit or -bench is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	nominal := statsize.AnalyzeSTA(d).CircuitDelay()
+	fmt.Printf("circuit: %v\n", d.NL)
+	fmt.Printf("nominal delay (min size): %.4f ns\n", nominal)
+
+	cfg := statsize.Config{
+		MaxIterations:   iters,
+		Bins:            bins,
+		MaxAreaIncrease: areaCap,
+		Objective:       statsize.Percentile(percentile),
+		MultiSize:       multi,
+		HeuristicLevels: heuristic,
+	}
+	var res *statsize.Result
+	switch method {
+	case "det":
+		res, err = statsize.OptimizeDeterministic(d, cfg)
+	case "brute":
+		res, err = statsize.OptimizeBruteForce(d, cfg)
+	case "accel":
+		res, err = statsize.OptimizeAccelerated(d, cfg)
+	default:
+		return fmt.Errorf("unknown method %q (want det, brute or accel)", method)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("method: %s, %d iterations in %v\n", res.Method, res.Iterations, res.Elapsed.Round(1000000))
+	fmt.Printf("objective (%v): %.4f -> %.4f ns  (%.2f%% improvement)\n",
+		cfg.Objective, res.InitialObjective, res.FinalObjective, res.Improvement())
+	fmt.Printf("total gate size: %.1f -> %.1f  (+%.1f%%)\n",
+		res.InitialWidth, res.FinalWidth, res.AreaIncrease())
+
+	if trace && len(res.Records) > 0 {
+		t := report.NewTable("per-iteration trace",
+			"iter", "gate", "sensitivity", "objective (ns)", "area", "pruned/considered", "ms")
+		for _, r := range res.Records {
+			t.AddRowStrings(
+				fmt.Sprint(r.Iter),
+				fmt.Sprint(r.Gates),
+				fmt.Sprintf("%.5g", r.Sensitivity),
+				fmt.Sprintf("%.4f", r.Objective),
+				fmt.Sprintf("%.1f", r.TotalWidth),
+				fmt.Sprintf("%d/%d", r.CandidatesPruned, r.CandidatesConsidered),
+				fmt.Sprintf("%.1f", float64(r.Elapsed.Microseconds())/1000),
+			)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	if mcSamples > 0 {
+		mc, err := statsize.MonteCarlo(d, mcSamples, 1)
+		if err != nil {
+			return err
+		}
+		p := mc.Percentile(percentile)
+		fmt.Printf("Monte Carlo p%g (%d samples): %.4f ns (bound error %+.2f%%)\n",
+			percentile*100, mcSamples, p, 100*(res.FinalObjective-p)/p)
+	}
+	return nil
+}

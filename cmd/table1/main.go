@@ -1,0 +1,39 @@
+// Command table1 regenerates the paper's Table 1: 99-percentile circuit
+// delay after deterministic versus statistical gate sizing at equal
+// added area, over the ISCAS'85 replica suite.
+//
+// Usage:
+//
+//	table1 [-circuits c432,c880] [-iters N] [-bins B] [-full] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsize/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	resolve := experiments.FlagOptions(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of the formatted table")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	rows, err := experiments.Table1(resolve())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = experiments.Table1CSV(os.Stdout, rows)
+	} else {
+		err = experiments.RenderTable1(os.Stdout, rows)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}

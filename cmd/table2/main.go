@@ -1,0 +1,39 @@
+// Command table2 regenerates the paper's Table 2: per-iteration runtime
+// of the brute-force statistical optimizer versus the accelerated
+// pruning algorithm, with improvement factors and pruning rates.
+//
+// Usage:
+//
+//	table2 [-circuits c432,c880] [-timed-iters N] [-bins B] [-full] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsize/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	resolve := experiments.FlagOptions(fs)
+	csv := fs.Bool("csv", false, "emit CSV instead of the formatted table")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	rows, err := experiments.Table2(resolve())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = experiments.Table2CSV(os.Stdout, rows)
+	} else {
+		err = experiments.RenderTable2(os.Stdout, rows)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+// Command timingreport prints a full timing report for one circuit:
+// deterministic critical paths, statistical percentiles from three
+// engines (discretized SSTA, Gaussian moment propagation, Monte Carlo),
+// per-gate criticalities, and the effect of spatial correlation that the
+// paper's bound does not model.
+//
+// Usage:
+//
+//	timingreport -circuit c432 [-paths 10] [-samples 8000] [-corr 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsize"
+	"statsize/internal/netlist"
+	"statsize/internal/report"
+)
+
+func main() {
+	circuit := flag.String("circuit", "c432", "benchmark name")
+	bench := flag.String("bench", "", "path to a .bench netlist (alternative to -circuit)")
+	paths := flag.Int("paths", 10, "critical paths to list")
+	samples := flag.Int("samples", 8000, "Monte Carlo samples")
+	bins := flag.Int("bins", 600, "SSTA grid bins")
+	corr := flag.Float64("corr", 0.5, "correlated variance fraction for the spatial-correlation study (0 disables)")
+	topCrit := flag.Int("crit", 10, "most critical gates to list")
+	flag.Parse()
+	if err := run(*circuit, *bench, *paths, *samples, *bins, *corr, *topCrit); err != nil {
+		fmt.Fprintln(os.Stderr, "timingreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuit, bench string, paths, samples, bins int, corr float64, topCrit int) error {
+	var d *statsize.Design
+	var err error
+	if bench != "" {
+		f, err2 := os.Open(bench)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		d, err = statsize.LoadBench(f, bench)
+	} else {
+		d, err = statsize.Benchmark(circuit)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(d.NL)
+
+	det := statsize.AnalyzeSTA(d)
+	fmt.Printf("\nnominal circuit delay: %.4f ns\n", det.CircuitDelay())
+
+	// Three statistical views of the same circuit.
+	a, err := statsize.AnalyzeSSTA(d, bins)
+	if err != nil {
+		return err
+	}
+	ga := statsize.AnalyzeGaussian(d)
+	mc, err := statsize.MonteCarlo(d, samples, 1)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("\nstatistical circuit delay (ns)",
+		"engine", "mean", "p50", "p99")
+	t.AddRowStrings("discretized SSTA (paper)",
+		fmt.Sprintf("%.4f", a.SinkDist().Mean()),
+		fmt.Sprintf("%.4f", a.Percentile(0.5)),
+		fmt.Sprintf("%.4f", a.Percentile(0.99)))
+	t.AddRowStrings("Gaussian moments (related work)",
+		fmt.Sprintf("%.4f", ga.Sink().Mean),
+		fmt.Sprintf("%.4f", ga.Percentile(0.5)),
+		fmt.Sprintf("%.4f", ga.Percentile(0.99)))
+	t.AddRowStrings(fmt.Sprintf("Monte Carlo (%d samples)", samples),
+		fmt.Sprintf("%.4f", mc.Mean()),
+		fmt.Sprintf("%.4f", mc.Percentile(0.5)),
+		fmt.Sprintf("%.4f", mc.Percentile(0.99)))
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Top nominal paths.
+	pt := report.NewTable(fmt.Sprintf("\ntop %d nominal paths", paths),
+		"rank", "delay (ns)", "gates")
+	for i, p := range statsize.TopPaths(d, paths) {
+		names := ""
+		for _, eid := range p.Edges {
+			gid := d.E.EdgeGate[eid]
+			if gid == netlist.NoGate {
+				continue
+			}
+			g := d.NL.Gate(gid)
+			names += fmt.Sprintf("%s:%s ", g.Kind, d.NL.NetName(g.Out))
+		}
+		if len(names) > 70 {
+			names = names[:67] + "..."
+		}
+		pt.AddRowStrings(fmt.Sprint(i+1), fmt.Sprintf("%.4f", p.Delay), names)
+	}
+	if err := pt.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Statistical criticality.
+	crit, err := statsize.Criticality(d, samples, 2)
+	if err != nil {
+		return err
+	}
+	type gc struct {
+		gate int
+		c    float64
+	}
+	var ranked []gc
+	for g, c := range crit {
+		if c > 0 {
+			ranked = append(ranked, gc{g, c})
+		}
+	}
+	for i := 0; i < len(ranked); i++ {
+		for j := i + 1; j < len(ranked); j++ {
+			if ranked[j].c > ranked[i].c || (ranked[j].c == ranked[i].c && ranked[j].gate < ranked[i].gate) {
+				ranked[i], ranked[j] = ranked[j], ranked[i]
+			}
+		}
+	}
+	if len(ranked) > topCrit {
+		ranked = ranked[:topCrit]
+	}
+	ct := report.NewTable(fmt.Sprintf("\ntop %d statistically critical gates", topCrit),
+		"gate", "cell", "output net", "criticality")
+	for _, r := range ranked {
+		g := d.NL.Gate(netlist.GateID(r.gate))
+		ct.AddRowStrings(fmt.Sprint(r.gate), g.Kind.String(), d.NL.NetName(g.Out),
+			fmt.Sprintf("%.3f", r.c))
+	}
+	if err := ct.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("gates with nonzero criticality: %d of %d (why the paper computes sensitivities for all gates)\n",
+		len(crit)-countZero(crit), len(crit))
+
+	// Spatial correlation study.
+	if corr > 0 {
+		cm := statsize.CorrModel{GlobalFrac: corr * 0.6, RegionFrac: corr * 0.4}
+		cmc, err := statsize.MonteCarloCorrelated(d, samples, 3, cm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nspatial correlation study (%.0f%% shared variance):\n", corr*100)
+		fmt.Printf("  independent MC p99: %.4f ns | correlated MC p99: %.4f ns | SSTA bound: %.4f ns\n",
+			mc.Percentile(0.99), cmc.Percentile(0.99), a.Percentile(0.99))
+		fmt.Printf("  correlation widens the tail by %.2f%%; the paper's bound does not model this (Section 2)\n",
+			100*(cmc.Percentile(0.99)-mc.Percentile(0.99))/mc.Percentile(0.99))
+	}
+	return nil
+}
+
+func countZero(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x == 0 {
+			n++
+		}
+	}
+	return n
+}

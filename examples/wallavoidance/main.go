@@ -1,0 +1,69 @@
+// Wall avoidance: the motivating story of the paper's Figure 1.
+//
+// Deterministic optimization keeps improving whatever path is nominally
+// critical, which equalizes path delays into a "wall" just below the
+// critical delay. Under process variation every near-critical path can
+// become the slowest one, so the wall hurts the statistical delay. The
+// statistical optimizer spends the same area without building the wall.
+//
+//	go run ./examples/wallavoidance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statsize"
+)
+
+func main() {
+	const iters = 80
+
+	det, err := statsize.Benchmark("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat, err := statsize.Benchmark("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	detRes, err := statsize.OptimizeDeterministic(det, statsize.Config{MaxIterations: iters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Equal area: the statistical optimizer gets the same number of
+	// width steps the deterministic one actually used.
+	statRes, err := statsize.OptimizeAccelerated(stat, statsize.Config{MaxIterations: detRes.Iterations})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("equal added area: deterministic %d steps, statistical %d steps\n",
+		detRes.Iterations, statRes.Iterations)
+
+	// Compare the path profiles on a common delay axis (as Figure 1
+	// does): the wall shows up as the population of paths slower than a
+	// shared threshold near the deterministic design's critical delay.
+	detCrit := statsize.AnalyzeSTA(det).CircuitDelay()
+	threshold := 0.92 * detCrit
+	for _, c := range []struct {
+		name string
+		d    *statsize.Design
+	}{{"deterministic", det}, {"statistical", stat}} {
+		crit := statsize.AnalyzeSTA(c.d).CircuitDelay()
+		h := statsize.PathHistogram(c.d, detCrit/300)
+		wall := h.CountAtLeast(threshold)
+		a, err := statsize.AnalyzeSSTA(c.d, 600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s nominal %.4f ns | paths slower than %.3f ns: %9.3g | p99 %.4f ns\n",
+			c.name, crit, threshold, wall, a.Percentile(0.99))
+	}
+
+	detA, _ := statsize.AnalyzeSSTA(det, 600)
+	statA, _ := statsize.AnalyzeSSTA(stat, 600)
+	d99, s99 := detA.Percentile(0.99), statA.Percentile(0.99)
+	fmt.Printf("\nstatistical optimization wins the 99-percentile delay by %.2f%% at the same area\n",
+		100*(d99-s99)/d99)
+}

@@ -1,0 +1,260 @@
+// Package cell provides a synthetic standard-cell library and the
+// logical-effort style delay model of the paper (EQ 1):
+//
+//	De = Dint + K * Cload / Ccell
+//
+// where Dint is the cell's constant intrinsic delay, Cload the total
+// capacitance driven by the output, K a per-cell constant, and Ccell the
+// total capacitance of the cell — which scales linearly with the gate
+// width, so upsizing a gate speeds it up while increasing the load it
+// presents to its fanin gates.
+//
+// The paper used a 180 nm commercial library; this package substitutes a
+// synthetic library with capacitances and delays of plausible 180 nm
+// magnitude (documented in DESIGN.md). All delays are in nanoseconds and
+// capacitances in femtofarads.
+package cell
+
+import (
+	"fmt"
+
+	"statsize/internal/dist"
+)
+
+// Kind identifies a standard cell function.
+type Kind uint8
+
+// The cell kinds of the library, grouped by input count.
+const (
+	INV Kind = iota
+	BUF
+	NAND2
+	NOR2
+	AND2
+	OR2
+	XOR2
+	XNOR2
+	NAND3
+	NOR3
+	AND3
+	OR3
+	NAND4
+	NOR4
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	INV: "INV", BUF: "BUF",
+	NAND2: "NAND2", NOR2: "NOR2", AND2: "AND2", OR2: "OR2",
+	XOR2: "XOR2", XNOR2: "XNOR2",
+	NAND3: "NAND3", NOR3: "NOR3", AND3: "AND3", OR3: "OR3",
+	NAND4: "NAND4", NOR4: "NOR4",
+}
+
+// String returns the cell name, e.g. "NAND2".
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindByName resolves a cell name; ok is false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns all cell kinds in the library.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Spec holds the timing and capacitance parameters of one cell at unit
+// width.
+type Spec struct {
+	Kind      Kind
+	NumInputs int
+	Dint      float64 // intrinsic delay, ns
+	K         float64 // effort coefficient of EQ 1, ns
+	CinPerPin float64 // input pin capacitance at unit width, fF
+	CcellUnit float64 // total cell capacitance at unit width, fF
+}
+
+// Library bundles the cell specs with the variability and sizing policy
+// used across an analysis.
+type Library struct {
+	specs [numKinds]Spec
+
+	// WireCapBase and WireCapPerFanout form the lumped wire load of a
+	// net: WireCapBase + WireCapPerFanout * fanoutCount, in fF.
+	WireCapBase      float64
+	WireCapPerFanout float64
+
+	// POLoad is the fixed capacitance seen by a net driving a primary
+	// output, in fF.
+	POLoad float64
+
+	// SigmaRatio is the standard deviation of a pin-to-pin delay as a
+	// fraction of its nominal value (the paper uses 10%), and TruncSigmas
+	// where the Gaussian is truncated (the paper uses 3).
+	SigmaRatio  float64
+	TruncSigmas float64
+
+	// Sizing policy: minimum width, maximum width and the coordinate
+	// descent step Δw, in multiples of the minimum width.
+	WMin, WMax, DeltaW float64
+
+	// PinFactorStep skews pin-to-pin delays by input index:
+	// pin i carries factor 1 + PinFactorStep*i, modeling the inner/outer
+	// transistor stack asymmetry of real cells.
+	PinFactorStep float64
+}
+
+// Default180nm returns the library used by all experiments: synthetic
+// constants at 180 nm magnitudes, 10% sigma with 3-sigma truncation, and
+// the sizing policy of the reproduction (w in [1,32], Δw = 0.5).
+func Default180nm() *Library {
+	l := &Library{
+		WireCapBase:      1.2,
+		WireCapPerFanout: 0.6,
+		POLoad:           6.0,
+		SigmaRatio:       0.10,
+		TruncSigmas:      3.0,
+		WMin:             1.0,
+		WMax:             32.0,
+		DeltaW:           0.5,
+		PinFactorStep:    0.04,
+	}
+	add := func(k Kind, nin int, dint, kk, cin, ccell float64) {
+		l.specs[k] = Spec{Kind: k, NumInputs: nin, Dint: dint, K: kk, CinPerPin: cin, CcellUnit: ccell}
+	}
+	// Constants follow logical-effort intuition: stacked-transistor cells
+	// have larger input caps (logical effort) and intrinsic delays.
+	add(INV, 1, 0.020, 0.030, 2.0, 3.2)
+	add(BUF, 1, 0.034, 0.030, 2.0, 4.4)
+	add(NAND2, 2, 0.028, 0.032, 2.7, 5.4)
+	add(NOR2, 2, 0.030, 0.034, 3.3, 6.4)
+	add(AND2, 2, 0.042, 0.032, 2.2, 6.0)
+	add(OR2, 2, 0.046, 0.034, 2.2, 6.6)
+	add(XOR2, 2, 0.055, 0.040, 3.6, 8.8)
+	add(XNOR2, 2, 0.057, 0.040, 3.6, 8.8)
+	add(NAND3, 3, 0.036, 0.035, 3.3, 8.2)
+	add(NOR3, 3, 0.040, 0.038, 4.4, 9.6)
+	add(AND3, 3, 0.050, 0.035, 2.4, 8.6)
+	add(OR3, 3, 0.056, 0.038, 2.4, 9.2)
+	add(NAND4, 4, 0.044, 0.038, 4.0, 11.0)
+	add(NOR4, 4, 0.052, 0.042, 5.6, 13.0)
+	return l
+}
+
+// Spec returns the parameters of a cell kind.
+func (l *Library) Spec(k Kind) *Spec {
+	if k >= numKinds {
+		panic(fmt.Sprintf("cell: unknown kind %d", k))
+	}
+	return &l.specs[k]
+}
+
+// KindsWithInputs returns the cell kinds that take exactly n inputs.
+func (l *Library) KindsWithInputs(n int) []Kind {
+	var out []Kind
+	for k := Kind(0); k < numKinds; k++ {
+		if l.specs[k].NumInputs == n {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// MaxInputs returns the largest input count in the library.
+func (l *Library) MaxInputs() int {
+	m := 0
+	for k := Kind(0); k < numKinds; k++ {
+		if n := l.specs[k].NumInputs; n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// InputCap returns the capacitance one input pin of a cell of kind k at
+// width w presents to its driving net, in fF.
+func (l *Library) InputCap(k Kind, w float64) float64 {
+	return l.specs[k].CinPerPin * w
+}
+
+// WireCap returns the lumped wire capacitance of a net with the given
+// fanout count, in fF.
+func (l *Library) WireCap(fanout int) float64 {
+	return l.WireCapBase + l.WireCapPerFanout*float64(fanout)
+}
+
+// PinFactor returns the delay skew factor for input pin index `pin`.
+func (l *Library) PinFactor(pin int) float64 {
+	return 1 + l.PinFactorStep*float64(pin)
+}
+
+// NominalDelay evaluates EQ 1 for a cell of kind k at width w driving
+// cload fF, seen from input pin index `pin`.
+func (l *Library) NominalDelay(k Kind, pin int, w, cload float64) float64 {
+	s := &l.specs[k]
+	if w <= 0 {
+		panic(fmt.Sprintf("cell: non-positive width %v", w))
+	}
+	return (s.Dint + s.K*cload/(w*s.CcellUnit)) * l.PinFactor(pin)
+}
+
+// DelayDist returns the discretized pin-to-pin delay distribution: a
+// truncated Gaussian centered on the nominal delay with the library's
+// sigma ratio and truncation (the paper's intra-die variation model).
+func (l *Library) DelayDist(dt float64, k Kind, pin int, w, cload float64) (*dist.Dist, error) {
+	nom := l.NominalDelay(k, pin, w, cload)
+	return dist.TruncGauss(dt, nom, l.SigmaRatio*nom, l.TruncSigmas)
+}
+
+// ClampWidth restricts a width to the library's sizing range.
+func (l *Library) ClampWidth(w float64) float64 {
+	if w < l.WMin {
+		return l.WMin
+	}
+	if w > l.WMax {
+		return l.WMax
+	}
+	return w
+}
+
+// Validate checks internal consistency of a (possibly user-modified)
+// library.
+func (l *Library) Validate() error {
+	for k := Kind(0); k < numKinds; k++ {
+		s := &l.specs[k]
+		if s.NumInputs < 1 {
+			return fmt.Errorf("cell %s: input count %d", k, s.NumInputs)
+		}
+		if s.Dint <= 0 || s.K <= 0 || s.CinPerPin <= 0 || s.CcellUnit <= 0 {
+			return fmt.Errorf("cell %s: non-positive parameter", k)
+		}
+	}
+	if l.SigmaRatio < 0 || l.SigmaRatio >= 1 {
+		return fmt.Errorf("cell: sigma ratio %v out of [0,1)", l.SigmaRatio)
+	}
+	if l.TruncSigmas <= 0 {
+		return fmt.Errorf("cell: truncation %v sigmas", l.TruncSigmas)
+	}
+	if l.WMin <= 0 || l.WMax < l.WMin || l.DeltaW <= 0 {
+		return fmt.Errorf("cell: sizing policy wmin=%v wmax=%v dw=%v", l.WMin, l.WMax, l.DeltaW)
+	}
+	if l.WireCapBase < 0 || l.WireCapPerFanout < 0 || l.POLoad < 0 {
+		return fmt.Errorf("cell: negative wire/PO capacitance")
+	}
+	return nil
+}

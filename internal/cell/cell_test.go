@@ -1,0 +1,185 @@
+package cell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultLibraryValid(t *testing.T) {
+	l := Default180nm()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := KindByName("FLUXCAP"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestKindsWithInputsPartition(t *testing.T) {
+	l := Default180nm()
+	total := 0
+	for n := 1; n <= l.MaxInputs(); n++ {
+		ks := l.KindsWithInputs(n)
+		total += len(ks)
+		for _, k := range ks {
+			if l.Spec(k).NumInputs != n {
+				t.Errorf("%s misfiled under %d inputs", k, n)
+			}
+		}
+	}
+	if total != len(Kinds()) {
+		t.Errorf("input-count partition covers %d of %d kinds", total, len(Kinds()))
+	}
+	if len(l.KindsWithInputs(1)) == 0 || len(l.KindsWithInputs(2)) == 0 {
+		t.Error("library must provide 1- and 2-input cells")
+	}
+}
+
+func TestDelayDecreasesWithWidth(t *testing.T) {
+	l := Default180nm()
+	for _, k := range Kinds() {
+		prev := math.Inf(1)
+		for w := 1.0; w <= 8; w += 0.5 {
+			d := l.NominalDelay(k, 0, w, 20)
+			if d >= prev {
+				t.Errorf("%s: delay not decreasing in width at w=%v", k, w)
+			}
+			if d <= l.Spec(k).Dint {
+				t.Errorf("%s: delay %v below intrinsic %v", k, d, l.Spec(k).Dint)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestDelayIncreasesWithLoad(t *testing.T) {
+	l := Default180nm()
+	for _, k := range Kinds() {
+		prev := 0.0
+		for cl := 2.0; cl <= 64; cl *= 2 {
+			d := l.NominalDelay(k, 0, 2.0, cl)
+			if d <= prev {
+				t.Errorf("%s: delay not increasing in load at cl=%v", k, cl)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestEQ1Exact(t *testing.T) {
+	l := Default180nm()
+	s := l.Spec(NAND2)
+	w, cl := 3.0, 17.0
+	want := s.Dint + s.K*cl/(w*s.CcellUnit)
+	got := l.NominalDelay(NAND2, 0, w, cl)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("EQ1: got %v want %v", got, want)
+	}
+}
+
+func TestPinFactorSkew(t *testing.T) {
+	l := Default180nm()
+	d0 := l.NominalDelay(NAND3, 0, 1, 10)
+	d1 := l.NominalDelay(NAND3, 1, 1, 10)
+	d2 := l.NominalDelay(NAND3, 2, 1, 10)
+	if !(d0 < d1 && d1 < d2) {
+		t.Errorf("pin delays not increasing: %v %v %v", d0, d1, d2)
+	}
+	if math.Abs(d1/d0-(1+l.PinFactorStep)) > 1e-12 {
+		t.Errorf("pin factor ratio %v, want %v", d1/d0, 1+l.PinFactorStep)
+	}
+}
+
+func TestInputCapScalesWithWidth(t *testing.T) {
+	l := Default180nm()
+	base := l.InputCap(NOR2, 1)
+	if math.Abs(l.InputCap(NOR2, 4)-4*base) > 1e-12 {
+		t.Error("input cap must scale linearly with width")
+	}
+}
+
+func TestWireCapMonotone(t *testing.T) {
+	l := Default180nm()
+	if l.WireCap(4) <= l.WireCap(1) {
+		t.Error("wire cap must grow with fanout")
+	}
+	if l.WireCap(0) != l.WireCapBase {
+		t.Error("zero-fanout wire cap must equal base")
+	}
+}
+
+func TestDelayDistMoments(t *testing.T) {
+	l := Default180nm()
+	nom := l.NominalDelay(INV, 0, 2, 12)
+	d, err := l.DelayDist(0.001, INV, 0, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-nom) > 1e-6 {
+		t.Errorf("delay dist mean %v, want nominal %v", d.Mean(), nom)
+	}
+	// Std of a 3-sigma truncated Gaussian is slightly below sigma.
+	sigma := l.SigmaRatio * nom
+	if d.Std() > sigma || d.Std() < 0.9*sigma {
+		t.Errorf("delay dist std %v, want slightly below %v", d.Std(), sigma)
+	}
+	// Support honors truncation.
+	if d.MinTime() < nom-3*sigma-0.001 || d.MaxTime() > nom+3*sigma+0.001 {
+		t.Error("delay dist support exceeds truncation")
+	}
+}
+
+func TestClampWidth(t *testing.T) {
+	l := Default180nm()
+	if l.ClampWidth(0.2) != l.WMin {
+		t.Error("clamp below WMin")
+	}
+	if l.ClampWidth(999) != l.WMax {
+		t.Error("clamp above WMax")
+	}
+	if l.ClampWidth(3.5) != 3.5 {
+		t.Error("clamp inside range must be identity")
+	}
+}
+
+func TestValidateCatchesBadLibraries(t *testing.T) {
+	mod := func(f func(*Library)) *Library {
+		l := Default180nm()
+		f(l)
+		return l
+	}
+	cases := map[string]*Library{
+		"sigma":  mod(func(l *Library) { l.SigmaRatio = 1.5 }),
+		"trunc":  mod(func(l *Library) { l.TruncSigmas = 0 }),
+		"wmin":   mod(func(l *Library) { l.WMin = 0 }),
+		"wmax":   mod(func(l *Library) { l.WMax = 0.5 }),
+		"deltaw": mod(func(l *Library) { l.DeltaW = 0 }),
+		"wire":   mod(func(l *Library) { l.WireCapBase = -1 }),
+		"cell":   mod(func(l *Library) { l.specs[INV].Dint = 0 }),
+		"numin":  mod(func(l *Library) { l.specs[BUF].NumInputs = 0 }),
+	}
+	for name, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestNonPositiveWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default180nm().NominalDelay(INV, 0, 0, 10)
+}

@@ -1,0 +1,466 @@
+package circuitgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"statsize/internal/cell"
+	"statsize/internal/netlist"
+)
+
+// Intermediate representation used during generation; the netlist object
+// is append-only, so rewiring happens here before emission.
+type irGate struct {
+	kind  cell.Kind
+	level int
+	ins   []int // net indices
+}
+
+type irNet struct {
+	level   int
+	readers int
+	driver  int // gate index, -1 for PI
+	po      bool
+}
+
+type gen struct {
+	sp    Spec
+	lib   *cell.Library
+	rng   *rand.Rand
+	taper float64 // top-profile thinning strength in (0,1)
+	gates []irGate
+	nets  []irNet
+	byLvl [][]int // net indices per level (level 0 = PIs)
+}
+
+// Generate builds the netlist for a spec. The result is deterministic in
+// the seed and guaranteed (or an error is returned) to elaborate to a
+// timing graph with exactly sp.Nodes nodes and sp.Edges edges, sp.PIs
+// primary inputs, sp.POs primary outputs, and logic depth exactly
+// sp.Depth.
+//
+// Random wiring occasionally strands a deep net with no possible
+// consumer; such attempts are discarded and regenerated with a derived
+// seed and a thinner top profile. The retry walk is itself
+// deterministic, so equal specs always yield identical circuits.
+func Generate(lib *cell.Library, sp Spec) (*netlist.Netlist, error) {
+	if err := sp.Validate(lib); err != nil {
+		return nil, err
+	}
+	seed := sp.Seed
+	taper := 0.75
+	var lastErr error
+	for attempt := 0; attempt < 40; attempt++ {
+		nl, err := generateOnce(lib, sp, seed, taper)
+		if err == nil {
+			return nl, nil
+		}
+		lastErr = err
+		seed = seed*1000003 + 17
+		if taper < 0.92 {
+			taper += 0.02
+		}
+	}
+	return nil, fmt.Errorf("circuitgen %s: no feasible wiring after retries: %w", sp.Name, lastErr)
+}
+
+func generateOnce(lib *cell.Library, sp Spec, seed int64, taper float64) (*netlist.Netlist, error) {
+	g := &gen{sp: sp, lib: lib, rng: rand.New(rand.NewSource(seed)), taper: taper}
+	g.assignShapes()
+	g.wire()
+	if err := g.fixDangling(); err != nil {
+		return nil, err
+	}
+	g.choosePOs()
+	nl, err := g.emit()
+	if err != nil {
+		return nil, err
+	}
+	if nl.TimingNodeCount() != sp.Nodes || nl.TimingEdgeCount() != sp.Edges {
+		return nil, fmt.Errorf("circuitgen %s: generated %d/%d nodes/edges, want %d/%d",
+			sp.Name, nl.TimingNodeCount(), nl.TimingEdgeCount(), sp.Nodes, sp.Edges)
+	}
+	return nl, nil
+}
+
+// assignShapes fixes each gate's fanin count and level.
+func (g *gen) assignShapes() {
+	sp, rng := g.sp, g.rng
+	nG, pins, depth := sp.Gates(), sp.Pins(), sp.Depth
+	maxIn := g.lib.MaxInputs()
+
+	g.gates = make([]irGate, nG)
+
+	// Levels: one gate pinned to every level so the depth is exact; the
+	// rest drawn from a profile that tapers smoothly over the deepest
+	// 30%. Monotone narrowing toward the top avoids width cliffs whose
+	// outputs would have no consumers, and keeps the number of forced
+	// primary outputs (top-level gates) within the PO budget.
+	level := make([]int, nG)
+	weights := make([]float64, depth+1)
+	var wsum float64
+	for l := 1; l <= depth; l++ {
+		frac := float64(l) / float64(depth)
+		w := 1.0
+		if frac > 0.7 {
+			w = 1 - (frac-0.7)/0.3*g.taper
+		}
+		weights[l] = w
+		wsum += w
+	}
+	sample := func() int {
+		x := rng.Float64() * wsum
+		for l := 1; l <= depth; l++ {
+			x -= weights[l]
+			if x <= 0 {
+				return l
+			}
+		}
+		return depth
+	}
+	perm := rng.Perm(nG)
+	for l := 1; l <= depth; l++ {
+		level[perm[l-1]] = l
+	}
+	for i := depth; i < nG; i++ {
+		level[perm[i]] = sample()
+	}
+	// Cap the top level: its outputs can never be consumed and are all
+	// forced POs.
+	topCap := sp.POs * 2 / 3
+	if topCap < 1 {
+		topCap = 1
+	}
+	var top []int
+	for i, l := range level {
+		if l == depth {
+			top = append(top, i)
+		}
+	}
+	for len(top) > topCap {
+		i := top[len(top)-1]
+		top = top[:len(top)-1]
+		level[i] = 1 + rng.Intn(depth-1)
+	}
+
+	// Fanins: one guaranteed input per gate; extra pins distributed with
+	// a bias toward deeper gates so the upper levels have the pin
+	// capacity to consume the wide mid-circuit levels below them.
+	fanin := make([]int, nG)
+	for i := range fanin {
+		fanin[i] = 1
+	}
+	for extra := pins - nG; extra > 0; {
+		i := rng.Intn(nG)
+		if fanin[i] >= maxIn {
+			continue
+		}
+		if accept := 0.4 + 0.6*float64(level[i])/float64(depth); rng.Float64() > accept {
+			continue
+		}
+		fanin[i]++
+		extra--
+	}
+
+	for i := range g.gates {
+		g.gates[i].level = level[i]
+		g.gates[i].ins = make([]int, fanin[i])
+		g.gates[i].kind = g.pickKind(fanin[i])
+	}
+}
+
+// pickKind selects a cell of the given arity with weights resembling
+// synthesized netlists (NAND-rich).
+func (g *gen) pickKind(fanin int) cell.Kind {
+	r := g.rng.Float64()
+	switch fanin {
+	case 1:
+		if r < 0.8 {
+			return cell.INV
+		}
+		return cell.BUF
+	case 2:
+		switch {
+		case r < 0.40:
+			return cell.NAND2
+		case r < 0.60:
+			return cell.NOR2
+		case r < 0.72:
+			return cell.AND2
+		case r < 0.84:
+			return cell.OR2
+		case r < 0.92:
+			return cell.XOR2
+		default:
+			return cell.XNOR2
+		}
+	case 3:
+		switch {
+		case r < 0.45:
+			return cell.NAND3
+		case r < 0.75:
+			return cell.NOR3
+		case r < 0.9:
+			return cell.AND3
+		default:
+			return cell.OR3
+		}
+	default:
+		if r < 0.6 {
+			return cell.NAND4
+		}
+		return cell.NOR4
+	}
+}
+
+// wire connects every gate: pin 0 anchors to a net exactly one level
+// below (making the longest-path level exact), remaining pins draw from
+// strictly lower levels with a geometric bias toward nearby levels —
+// which yields the reconvergent fanout structure the paper's Section 2
+// discusses.
+func (g *gen) wire() {
+	sp, rng := g.sp, g.rng
+	g.nets = make([]irNet, 0, sp.PIs+len(g.gates))
+	g.byLvl = make([][]int, sp.Depth+1)
+	for i := 0; i < sp.PIs; i++ {
+		g.byLvl[0] = append(g.byLvl[0], len(g.nets))
+		g.nets = append(g.nets, irNet{level: 0, driver: -1})
+	}
+	// Gate outputs, allocated level by level.
+	order := make([]int, len(g.gates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return g.gates[order[a]].level < g.gates[order[b]].level })
+
+	outNet := make([]int, len(g.gates))
+	for _, gi := range order {
+		L := g.gates[gi].level
+		ins := g.gates[gi].ins
+		ins[0] = g.pickNetAt(L-1, ins[:0])
+		for p := 1; p < len(ins); p++ {
+			lv := L - 1
+			for lv > 0 && rng.Float64() > 0.55 {
+				lv--
+			}
+			ins[p] = g.pickNetAt(lv, ins[:p])
+		}
+		for _, in := range ins {
+			g.nets[in].readers++
+		}
+		id := len(g.nets)
+		outNet[gi] = id
+		g.byLvl[L] = append(g.byLvl[L], id)
+		g.nets = append(g.nets, irNet{level: L, driver: gi})
+	}
+}
+
+// pickNetAt returns a net at the requested level (walking down if the
+// level is empty) that is not already among taken. Unread nets are
+// strongly preferred, mirroring synthesized circuits where nearly every
+// net is consumed; this keeps the dangling set close to the PO budget.
+func (g *gen) pickNetAt(level int, taken []int) int {
+	for lv := level; lv >= 0; lv-- {
+		cands := g.byLvl[lv]
+		if len(cands) == 0 {
+			continue
+		}
+		if g.rng.Float64() < 0.8 {
+			var unread []int
+			for _, n := range cands {
+				if g.nets[n].readers == 0 && !contains(taken, n) {
+					unread = append(unread, n)
+				}
+			}
+			if len(unread) > 0 {
+				return unread[g.rng.Intn(len(unread))]
+			}
+		}
+		for try := 0; try < 12; try++ {
+			n := cands[g.rng.Intn(len(cands))]
+			if !contains(taken, n) {
+				return n
+			}
+		}
+		for _, n := range cands {
+			if !contains(taken, n) {
+				return n
+			}
+		}
+	}
+	panic(fmt.Sprintf("circuitgen %s: no candidate net below level %d", g.sp.Name, level+1))
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// fixDangling rewires gate inputs until the number of unread nets is at
+// most the PO budget. A rewire moves one pin from a multiply-read donor
+// net onto the dangling net, preserving all level invariants and pin
+// counts; since donors keep at least one reader, rewiring never creates
+// new dangles and a single pass suffices.
+func (g *gen) fixDangling() error {
+	// Consume every unread primary input first — a dangling PI would
+	// otherwise become a degenerate PI-to-PO feedthrough.
+	for n := range g.nets {
+		if g.nets[n].driver == -1 && g.nets[n].readers == 0 {
+			g.rewireTo(n) // best effort; failures fall through to phase 2
+		}
+	}
+	var dangling []int
+	for n := range g.nets {
+		if g.nets[n].readers == 0 {
+			dangling = append(dangling, n)
+		}
+	}
+	if len(dangling) <= g.sp.POs {
+		return nil
+	}
+	// Keep the deepest nets as future POs (real observable outputs sit
+	// deep in the logic); rewire the shallow excess, which has the most
+	// potential consumers.
+	sort.Slice(dangling, func(a, b int) bool {
+		if g.nets[dangling[a]].level != g.nets[dangling[b]].level {
+			return g.nets[dangling[a]].level > g.nets[dangling[b]].level
+		}
+		return dangling[a] < dangling[b]
+	})
+	for _, d := range dangling[g.sp.POs:] {
+		if !g.rewireTo(d) {
+			return fmt.Errorf("circuitgen %s: cannot consume dangling net at level %d (PO budget %d)",
+				g.sp.Name, g.nets[d].level, g.sp.POs)
+		}
+	}
+	return nil
+}
+
+// rewireTo makes net d read by some gate above its level without
+// breaking any invariant: the donor pin's current source must keep at
+// least one reader, pin 0 (the level anchor) only accepts nets exactly
+// one level below the gate, and no gate reads the same net twice.
+func (g *gen) rewireTo(d int) bool {
+	dl := g.nets[d].level
+	attempt := func(gi, p int) bool {
+		gate := &g.gates[gi]
+		if gate.level <= dl {
+			return false
+		}
+		if p >= len(gate.ins) {
+			return false
+		}
+		if p == 0 && dl != gate.level-1 {
+			return false
+		}
+		s := gate.ins[p]
+		if s == d || g.nets[s].readers < 2 || contains(gate.ins, d) {
+			return false
+		}
+		gate.ins[p] = d
+		g.nets[s].readers--
+		g.nets[d].readers++
+		return true
+	}
+	for try := 0; try < 600; try++ {
+		gi := g.rng.Intn(len(g.gates))
+		if attempt(gi, g.rng.Intn(len(g.gates[gi].ins))) {
+			return true
+		}
+	}
+	// Deterministic exhaustive fallback.
+	for gi := range g.gates {
+		for p := range g.gates[gi].ins {
+			if attempt(gi, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// choosePOs marks every remaining unread net as a primary output and
+// tops up with the deepest driven nets until exactly sp.POs outputs.
+func (g *gen) choosePOs() {
+	count := 0
+	for n := range g.nets {
+		if g.nets[n].readers == 0 {
+			g.nets[n].po = true
+			count++
+		}
+	}
+	if count >= g.sp.POs {
+		return
+	}
+	// Deepest driven non-PI nets first, mirroring real circuits where
+	// observable outputs also fan out internally.
+	var cands []int
+	for n := range g.nets {
+		if !g.nets[n].po && g.nets[n].driver != -1 {
+			cands = append(cands, n)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if g.nets[cands[a]].level != g.nets[cands[b]].level {
+			return g.nets[cands[a]].level > g.nets[cands[b]].level
+		}
+		return cands[a] < cands[b]
+	})
+	for _, n := range cands {
+		if count == g.sp.POs {
+			break
+		}
+		g.nets[n].po = true
+		count++
+	}
+}
+
+// emit converts the IR into a finalized netlist. Net names follow the
+// ISCAS convention of bare numbers: PIs first, then gate outputs in
+// (level, index) order.
+func (g *gen) emit() (*netlist.Netlist, error) {
+	nl := netlist.New(g.sp.Name)
+	name := make([]string, len(g.nets))
+	for n := range g.nets {
+		name[n] = fmt.Sprintf("%d", n+1)
+	}
+	for n := range g.nets {
+		if g.nets[n].driver == -1 {
+			if _, err := nl.AddPI(name[n]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Gate outputs indexed by driver: emit in net order (already level
+	// sorted by construction).
+	for n := range g.nets {
+		gi := g.nets[n].driver
+		if gi == -1 {
+			continue
+		}
+		gate := &g.gates[gi]
+		ins := make([]string, len(gate.ins))
+		for p, in := range gate.ins {
+			ins[p] = name[in]
+		}
+		if _, err := nl.AddGate(g.lib, gate.kind, name[n], ins...); err != nil {
+			return nil, err
+		}
+	}
+	for n := range g.nets {
+		if g.nets[n].po {
+			if _, err := nl.MarkPO(name[n]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := nl.Finalize(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}

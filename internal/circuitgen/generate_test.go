@@ -1,0 +1,201 @@
+package circuitgen
+
+import (
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/netlist"
+)
+
+var lib = cell.Default180nm()
+
+func TestAllBenchmarksMatchTable1Exactly(t *testing.T) {
+	for _, sp := range ISCAS85 {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			nl, err := Generate(lib, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nl.TimingNodeCount() != sp.Nodes {
+				t.Errorf("nodes = %d, want %d (Table 1)", nl.TimingNodeCount(), sp.Nodes)
+			}
+			if nl.TimingEdgeCount() != sp.Edges {
+				t.Errorf("edges = %d, want %d (Table 1)", nl.TimingEdgeCount(), sp.Edges)
+			}
+			if nl.NumPIs() != sp.PIs || nl.NumPOs() != sp.POs {
+				t.Errorf("PI/PO = %d/%d, want %d/%d", nl.NumPIs(), nl.NumPOs(), sp.PIs, sp.POs)
+			}
+			e, err := nl.Elaborate()
+			if err != nil {
+				t.Fatalf("elaboration: %v", err)
+			}
+			// Logic depth exact: sink level = depth + 2 (source->PI arc
+			// and PO->sink arc).
+			if got := e.G.MaxLevel(); got != sp.Depth+2 {
+				t.Errorf("sink level = %d, want %d", got, sp.Depth+2)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sp, _ := ByName("c432")
+	a, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("gate counts differ between runs")
+	}
+	for i := 0; i < a.NumGates(); i++ {
+		ga, gb := a.Gate(netlist.GateID(i)), b.Gate(netlist.GateID(i))
+		if ga.Kind != gb.Kind || len(ga.Ins) != len(gb.Ins) {
+			t.Fatalf("gate %d differs between runs", i)
+		}
+		for p := range ga.Ins {
+			if a.NetName(ga.Ins[p]) != b.NetName(gb.Ins[p]) {
+				t.Fatalf("gate %d pin %d wiring differs", i, p)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	sp, _ := ByName("c432")
+	a, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Seed++
+	b, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.NumGates() && same; i++ {
+		ga, gb := a.Gate(netlist.GateID(i)), b.Gate(netlist.GateID(i))
+		if ga.Kind != gb.Kind || len(ga.Ins) != len(gb.Ins) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical gate shapes")
+	}
+	// Counts must still match the spec exactly.
+	if b.TimingNodeCount() != sp.Nodes || b.TimingEdgeCount() != sp.Edges {
+		t.Error("reseeded circuit no longer matches Table 1 counts")
+	}
+}
+
+func TestReconvergence(t *testing.T) {
+	// The generator must produce reconvergent fanout (the paper's central
+	// structural concern): some net must have fanout >= 2.
+	sp, _ := ByName("c880")
+	nl, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for n := 0; n < nl.NumNets(); n++ {
+		if len(nl.Readers(netlist.NetID(n))) >= 2 {
+			multi++
+		}
+	}
+	if multi < nl.NumNets()/20 {
+		t.Errorf("only %d of %d nets have fanout >= 2; circuit barely reconverges", multi, nl.NumNets())
+	}
+}
+
+func TestGateArityMix(t *testing.T) {
+	sp, _ := ByName("c3540")
+	nl, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < nl.NumGates(); i++ {
+		counts[len(nl.Gate(netlist.GateID(i)).Ins)]++
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Errorf("arity mix %v lacks 1- or 2-input gates", counts)
+	}
+	// Total pins must match the spec.
+	pins := 0
+	for arity, c := range counts {
+		pins += arity * c
+	}
+	if pins != sp.Pins() {
+		t.Errorf("total pins = %d, want %d", pins, sp.Pins())
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("c6288"); !ok {
+		t.Error("c6288 missing")
+	}
+	if _, ok := ByName("c9999"); ok {
+		t.Error("phantom circuit resolved")
+	}
+	if len(Names()) != 10 {
+		t.Errorf("suite has %d circuits, want 10", len(Names()))
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Nodes: 100, Edges: 150, PIs: 5, POs: 3, Depth: 5, Seed: 1},
+		{Name: "x", Nodes: 100, Edges: 150, PIs: 1, POs: 3, Depth: 5, Seed: 1},
+		{Name: "x", Nodes: 100, Edges: 150, PIs: 5, POs: 0, Depth: 5, Seed: 1},
+		{Name: "x", Nodes: 10, Edges: 150, PIs: 5, POs: 3, Depth: 50, Seed: 1},   // depth > gates
+		{Name: "x", Nodes: 100, Edges: 90, PIs: 5, POs: 3, Depth: 5, Seed: 1},    // pins < gates
+		{Name: "x", Nodes: 100, Edges: 10000, PIs: 5, POs: 3, Depth: 5, Seed: 1}, // pins > 4*gates
+		{Name: "x", Nodes: 100, Edges: 150, PIs: 5, POs: 99, Depth: 5, Seed: 1},  // POs > nets
+		{Name: "x", Nodes: 100, Edges: 150, PIs: 5, POs: 3, Depth: 0, Seed: 1},   // depth 0
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(lib); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := Spec{Name: "ok", Nodes: 100, Edges: 160, PIs: 6, POs: 4, Depth: 8, Seed: 7}
+	if err := good.Validate(lib); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestSmallCustomSpec(t *testing.T) {
+	sp := Spec{Name: "tiny", Nodes: 40, Edges: 70, PIs: 6, POs: 4, Depth: 6, Seed: 11}
+	nl, err := Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.TimingNodeCount() != sp.Nodes || nl.TimingEdgeCount() != sp.Edges {
+		t.Fatalf("tiny circuit counts %d/%d, want %d/%d",
+			nl.TimingNodeCount(), nl.TimingEdgeCount(), sp.Nodes, sp.Edges)
+	}
+	if _, err := nl.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySeedsAlwaysValid(t *testing.T) {
+	sp := Spec{Name: "fuzz", Nodes: 120, Edges: 220, PIs: 10, POs: 8, Depth: 10}
+	for seed := int64(0); seed < 30; seed++ {
+		sp.Seed = seed
+		nl, err := Generate(lib, sp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if nl.TimingNodeCount() != sp.Nodes || nl.TimingEdgeCount() != sp.Edges {
+			t.Fatalf("seed %d: counts drifted", seed)
+		}
+		if _, err := nl.Elaborate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+)
+
+// Accelerated runs the paper's pruning algorithm (Figures 6, 7 and 9).
+//
+// For every candidate gate a perturbation front is initialized: the
+// delay distributions of the gate and of its fanin drivers are perturbed
+// for one width step, and the perturbed arrival CDFs are propagated from
+// the lowest affected level up to the gate's own level (Initialize,
+// Figure 7). Each front carries the bound Smx = Δmx/Δw, where Δmx is the
+// largest perturbation gap across the front's live nodes; by Theorems
+// 1–4 this bound is an upper bound on the candidate's true sensitivity
+// and can only shrink as the front advances.
+//
+// The inner loop (Figure 6, steps 6–21) repeatedly advances the front
+// with the largest bound by one level. When a front reaches the sink,
+// its exact sensitivity updates Max_S; any front whose bound falls below
+// Max_S is discarded without further propagation. The surviving argmax
+// is identical to the brute-force result.
+func Accelerated(d *design.Design, cfg Config) (*Result, error) {
+	return statisticalDescent(d, cfg, "accelerated", acceleratedIteration)
+}
+
+// front is the A'set bookkeeping of one candidate gate (Figure 7/9): the
+// perturbed delay overlays, the live perturbed arrivals with their
+// remaining-fanout counts, the nodes scheduled for future levels, and
+// the current bound.
+type front struct {
+	gate   netlist.GateID
+	delays map[graph.EdgeID]*dist.Dist
+
+	perturbed map[graph.NodeID]*dist.Dist
+	delta     map[graph.NodeID]float64
+	foLeft    map[graph.NodeID]int
+	scheduled map[int][]graph.NodeID
+	inSched   map[graph.NodeID]bool
+	nextLevel int
+	levels    int // levels advanced so far (for the heuristic cutoff)
+
+	smx      float64
+	sinkDist *dist.Dist // set once the sink is computed
+	dead     bool       // nothing scheduled and nothing live
+
+	heapIdx int
+	visits  int
+}
+
+// newFront builds and initializes a candidate's front, propagating
+// through the candidate gate's own level exactly as Initialize does.
+func newFront(a *ssta.Analysis, cfg Config, x netlist.GateID) (*front, error) {
+	d := a.D
+	delays, err := perturbedDelays(a, x, d.Width(x)+d.Lib.DeltaW)
+	if err != nil {
+		return nil, err
+	}
+	f := &front{
+		gate:      x,
+		delays:    delays,
+		perturbed: make(map[graph.NodeID]*dist.Dist),
+		delta:     make(map[graph.NodeID]float64),
+		foLeft:    make(map[graph.NodeID]int),
+		scheduled: make(map[int][]graph.NodeID),
+		inSched:   make(map[graph.NodeID]bool),
+		nextLevel: int(^uint(0) >> 1),
+	}
+	g := d.E.G
+	for _, gid := range ssta.AffectedGates(d, x) {
+		n := d.E.NodeOf[d.NL.Gate(gid).Out]
+		f.schedule(g, n)
+	}
+	// Initialize propagates up to and including the candidate's output
+	// level so every front starts with a meaningful bound (Figure 7,
+	// steps 4–6).
+	ownLevel := g.Level(d.E.NodeOf[d.NL.Gate(x).Out])
+	for !f.dead && f.nextLevel <= ownLevel {
+		f.propagateOneLevel(a, cfg)
+	}
+	return f, nil
+}
+
+// schedule queues a node for computation at its level.
+func (f *front) schedule(g *graph.Graph, n graph.NodeID) {
+	if f.inSched[n] {
+		return
+	}
+	f.inSched[n] = true
+	l := g.Level(n)
+	f.scheduled[l] = append(f.scheduled[l], n)
+	if l < f.nextLevel {
+		f.nextLevel = l
+	}
+}
+
+// propagateOneLevel computes the perturbed arrivals of every node
+// scheduled at the front's current level (Figure 9), updates the
+// perturbation bounds and remaining-fanout counts, schedules fanouts,
+// and recomputes Smx.
+func (f *front) propagateOneLevel(a *ssta.Analysis, cfg Config) {
+	g := a.D.E.G
+	sink := g.Sink()
+	nodes := f.scheduled[f.nextLevel]
+	delete(f.scheduled, f.nextLevel)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	arrOverlay := func(n graph.NodeID) *dist.Dist { return f.perturbed[n] }
+	delayOverlay := func(e graph.EdgeID) *dist.Dist { return f.delays[e] }
+
+	for _, n := range nodes {
+		delete(f.inSched, n)
+		pert := a.ArrivalWithOverlay(n, arrOverlay, delayOverlay)
+		f.visits++
+		base := a.Arrival(n)
+		alive := true
+		if !cfg.DisableDeadFrontElision && dist.ApproxEqual(pert, base, 0) {
+			// The perturbation cancelled exactly on this node (an
+			// unperturbed fanin dominates the max); nothing downstream
+			// of it can ever differ. All perturbed parents are at lower
+			// levels and final, so this elision is exact.
+			alive = false
+		}
+		if n == sink {
+			f.sinkDist = pert
+			alive = false
+		}
+		if alive {
+			f.perturbed[n] = pert
+			f.delta[n] = dist.PerturbationBound(base, pert)
+			f.foLeft[n] = len(g.Out(n))
+			for _, eid := range g.Out(n) {
+				f.schedule(g, g.EdgeAt(eid).To)
+			}
+		}
+		// Consume one fanout slot of every perturbed fanin (Figure 9,
+		// steps 13–18); fully consumed nodes leave the front.
+		for _, eid := range g.In(n) {
+			from := g.EdgeAt(eid).From
+			if _, ok := f.perturbed[from]; !ok {
+				continue
+			}
+			f.foLeft[from]--
+			if f.foLeft[from] == 0 {
+				delete(f.perturbed, from)
+				delete(f.delta, from)
+				delete(f.foLeft, from)
+			}
+		}
+	}
+	f.levels++
+
+	// Advance to the next scheduled level.
+	f.nextLevel = int(^uint(0) >> 1)
+	for l := range f.scheduled {
+		if l < f.nextLevel {
+			f.nextLevel = l
+		}
+	}
+	if len(f.scheduled) == 0 {
+		f.dead = true
+	}
+	// Smx = max Δi over the live front (Theorem 4): an upper bound on
+	// the eventual sink perturbation.
+	f.smx = 0
+	for _, dl := range f.delta {
+		if dl > f.smx {
+			f.smx = dl
+		}
+	}
+}
+
+// frontHeap is a max-heap over Smx (ties: lower gate ID first).
+type frontHeap []*front
+
+func (h frontHeap) Len() int { return len(h) }
+func (h frontHeap) Less(i, j int) bool {
+	if h[i].smx != h[j].smx {
+		return h[i].smx > h[j].smx
+	}
+	return h[i].gate < h[j].gate
+}
+func (h frontHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *frontHeap) Push(x any) {
+	f := x.(*front)
+	f.heapIdx = len(*h)
+	*h = append(*h, f)
+}
+func (h *frontHeap) Pop() any {
+	old := *h
+	f := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return f
+}
+
+// acceleratedIteration is the inner loop of Figure 6 (steps 3–21): find
+// the most sensitive gates without propagating every candidate to the
+// sink. The warm-start hint (the previous iteration's winner) is
+// propagated to the sink before anything else, so Max_S starts high and
+// prunes from the first heap pop; this only reorders evaluation and
+// cannot change the result.
+func acceleratedIteration(a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error) {
+	d := a.D
+	deltaW := d.Lib.DeltaW
+	var ir innerResult
+
+	h := make(frontHeap, 0, d.NL.NumGates())
+	var hintFront *front
+	for _, gid := range candidateGates(d) {
+		ir.considered++
+		f, err := newFront(a, cfg, gid)
+		if err != nil {
+			return ir, err
+		}
+		ir.nodesVisited += f.visits
+		f.visits = 0
+		if gid == hint {
+			hintFront = f
+			continue
+		}
+		heap.Push(&h, f)
+	}
+
+	top := newTopK(cfg.MultiSize)
+	finish := func(f *front) {
+		sens := 0.0
+		if f.sinkDist != nil {
+			sens = (base - cfg.Objective.Eval(f.sinkDist)) / deltaW
+		} else {
+			// The perturbation died out before the sink: the sensitivity
+			// is exactly zero and the front stopped early — count it with
+			// the pruning wins.
+			ir.pruned++
+		}
+		top.offer(pick{gate: f.gate, sens: sens})
+	}
+
+	if hintFront != nil {
+		for !hintFront.dead {
+			hintFront.propagateOneLevel(a, cfg)
+			ir.nodesVisited += hintFront.visits
+			hintFront.visits = 0
+		}
+		finish(hintFront)
+	}
+
+	for h.Len() > 0 {
+		f := heap.Pop(&h).(*front)
+		// Pruning (Figure 6, step 20): the heap maximum's front bound
+		// Smx = Δmx/Δw dominates every remaining candidate's true
+		// sensitivity, so once it falls below the MultiSize-th exact
+		// sensitivity nothing left can win.
+		if !cfg.DisablePruning && f.smx/deltaW < top.kthSens()-pruneSlack {
+			ir.pruned += 1 + h.Len()
+			break
+		}
+		if f.dead {
+			finish(f)
+			continue
+		}
+		if cfg.HeuristicLevels > 0 && f.levels >= cfg.HeuristicLevels {
+			// Future-work heuristic: accept the bound as the sensitivity
+			// estimate without reaching the sink.
+			top.offer(pick{gate: f.gate, sens: f.smx / deltaW})
+			ir.pruned++
+			continue
+		}
+		f.propagateOneLevel(a, cfg)
+		ir.nodesVisited += f.visits
+		f.visits = 0
+		if f.dead {
+			finish(f)
+			continue
+		}
+		heap.Push(&h, f)
+	}
+	ir.picks = top.sorted()
+	if len(ir.picks) > 0 {
+		ir.bestSens = ir.picks[0].sens
+	}
+	return ir, nil
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"time"
+
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+)
+
+// BruteForce runs exact statistical sizing as described in Section 3.1:
+// every iteration evaluates every candidate gate's sensitivity with a
+// complete SSTA propagation of its perturbation to the sink — the
+// O(N·E)-per-iteration reference the accelerated algorithm is measured
+// against in Table 2, and the ground truth its results must match
+// exactly.
+func BruteForce(d *design.Design, cfg Config) (*Result, error) {
+	return statisticalDescent(d, cfg, "brute-force", bruteForceIteration)
+}
+
+// statisticalDescent is the outer coordinate-descent loop shared by the
+// brute-force and accelerated sizers: analyze once, then per iteration
+// find the most sensitive gates via `inner`, size them up, and commit
+// incrementally. The previous iteration's winner is passed down as a
+// warm-start hint — the paper notes that identifying a high-sensitivity
+// gate early lets it prune many inferior candidates, and the just-sized
+// gate is usually still near the top. The hint only reorders evaluation;
+// results are unchanged.
+func statisticalDescent(
+	d *design.Design,
+	cfg Config,
+	method string,
+	inner func(a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error),
+) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	a, err := ssta.Analyze(d, gridFor(d, cfg))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Method:           method,
+		InitialWidth:     d.TotalWidth(),
+		InitialObjective: cfg.Objective.Eval(a.SinkDist()),
+	}
+	res.FinalObjective = res.InitialObjective
+
+	hint := netlist.NoGate
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if areaCapReached(cfg, res.InitialWidth, d.TotalWidth()) {
+			break
+		}
+		iterStart := time.Now()
+		base := cfg.Objective.Eval(a.SinkDist())
+		ir, err := inner(a, cfg, base, hint)
+		if err != nil {
+			return nil, err
+		}
+		if len(ir.picks) == 0 || ir.bestSens <= cfg.Tolerance {
+			break
+		}
+		var sized []netlist.GateID
+		for _, p := range ir.picks {
+			if p.sens <= cfg.Tolerance {
+				continue
+			}
+			d.SetWidth(p.gate, d.Width(p.gate)+d.Lib.DeltaW)
+			if _, err := a.ResizeCommit(p.gate); err != nil {
+				return nil, err
+			}
+			sized = append(sized, p.gate)
+		}
+		if len(sized) == 0 {
+			break
+		}
+		if !cfg.DisableWarmStart {
+			hint = sized[0]
+		}
+		after := cfg.Objective.Eval(a.SinkDist())
+		rec := IterRecord{
+			Iter:                 iter,
+			Gates:                sized,
+			Sensitivity:          ir.bestSens,
+			Objective:            after,
+			TotalWidth:           d.TotalWidth(),
+			CandidatesConsidered: ir.considered,
+			CandidatesPruned:     ir.pruned,
+			NodesVisited:         ir.nodesVisited,
+			Elapsed:              time.Since(iterStart),
+		}
+		res.Records = append(res.Records, rec)
+		res.Iterations++
+		res.FinalObjective = after
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(rec)
+		}
+	}
+	res.FinalWidth = d.TotalWidth()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// pick is one gate selected for sizing with its exact sensitivity.
+type pick struct {
+	gate netlist.GateID
+	sens float64
+}
+
+// innerResult is what one inner-loop sensitivity search reports.
+type innerResult struct {
+	picks        []pick // best gates in descending sensitivity
+	bestSens     float64
+	considered   int
+	pruned       int
+	nodesVisited int
+}
+
+// bruteForceIteration computes every candidate's exact sensitivity by a
+// full overlay SSTA pass and returns the top MultiSize gates. Brute
+// force evaluates everything anyway, so the hint is unused.
+func bruteForceIteration(a *ssta.Analysis, cfg Config, base float64, _ netlist.GateID) (innerResult, error) {
+	d := a.D
+	var ir innerResult
+	top := newTopK(cfg.MultiSize)
+	for _, gid := range candidateGates(d) {
+		ir.considered++
+		sinkDist, visited, err := bruteSinkDist(a, gid)
+		if err != nil {
+			return ir, err
+		}
+		ir.nodesVisited += visited
+		sens := (base - cfg.Objective.Eval(sinkDist)) / d.Lib.DeltaW
+		top.offer(pick{gate: gid, sens: sens})
+	}
+	ir.picks = top.sorted()
+	if len(ir.picks) > 0 {
+		ir.bestSens = ir.picks[0].sens
+	}
+	return ir, nil
+}
+
+// bruteSinkDist propagates gate gid's perturbation through the entire
+// timing graph — a full SSTA run per candidate, per Section 3.1.
+func bruteSinkDist(a *ssta.Analysis, gid netlist.GateID) (*dist.Dist, int, error) {
+	d := a.D
+	g := d.E.G
+	delays, err := perturbedDelays(a, gid, d.Width(gid)+d.Lib.DeltaW)
+	if err != nil {
+		return nil, 0, err
+	}
+	arr := make([]*dist.Dist, g.NumNodes())
+	arrOverlay := func(n graph.NodeID) *dist.Dist { return arr[n] }
+	delayOverlay := func(e graph.EdgeID) *dist.Dist { return delays[e] }
+	visited := 0
+	for _, n := range g.Topo() {
+		if n == g.Source() {
+			arr[n] = a.Arrival(n)
+			continue
+		}
+		arr[n] = a.ArrivalWithOverlay(n, arrOverlay, delayOverlay)
+		visited++
+	}
+	return arr[g.Sink()], visited, nil
+}
+
+// topK keeps the k best picks by (sensitivity desc, gate ID asc) — the
+// deterministic tie-break every optimizer variant shares.
+type topK struct {
+	k     int
+	items []pick
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) offer(p pick) {
+	pos := len(t.items)
+	for pos > 0 && better(p, t.items[pos-1]) {
+		pos--
+	}
+	if pos >= t.k {
+		return
+	}
+	t.items = append(t.items, pick{})
+	copy(t.items[pos+1:], t.items[pos:])
+	t.items[pos] = p
+	if len(t.items) > t.k {
+		t.items = t.items[:t.k]
+	}
+}
+
+func (t *topK) sorted() []pick { return t.items }
+
+// kthSens returns the k-th best sensitivity seen so far (the pruning
+// threshold for MultiSize runs), or negative infinity while fewer than k
+// candidates have finished.
+func (t *topK) kthSens() float64 {
+	if len(t.items) < t.k {
+		return negInf
+	}
+	return t.items[len(t.items)-1].sens
+}
+
+const negInf = -1e308
+
+func better(a, b pick) bool {
+	if a.sens != b.sens {
+		return a.sens > b.sens
+	}
+	return a.gate < b.gate
+}

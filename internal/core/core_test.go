@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/design"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+)
+
+func newDesign(t testing.TB, name string) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	var nl *netlist.Netlist
+	if name == "c17" {
+		nl = netlist.C17(lib)
+	} else {
+		sp, ok := circuitgen.ByName(name)
+		if !ok {
+			t.Fatalf("unknown circuit %q", name)
+		}
+		var err error
+		nl, err = circuitgen.Generate(lib, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func smallDesign(t testing.TB, seed int64) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	sp := circuitgen.Spec{Name: "small", Nodes: 60, Edges: 104, PIs: 8, POs: 5, Depth: 8, Seed: seed}
+	nl, err := circuitgen.Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestObjectives(t *testing.T) {
+	d := newDesign(t, "c17")
+	a, err := ssta.Analyze(d, d.SuggestDT(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.SinkDist()
+	if Percentile(0.99).Eval(s) != s.Percentile(0.99) {
+		t.Error("Percentile objective mismatch")
+	}
+	if (Mean{}).Eval(s) != s.Mean() {
+		t.Error("Mean objective mismatch")
+	}
+	if Percentile(0.99).String() == "" || (Mean{}).String() == "" {
+		t.Error("objective names empty")
+	}
+}
+
+func TestDeterministicImproves(t *testing.T) {
+	d := newDesign(t, "c432")
+	res, err := Deterministic(d, Config{MaxIterations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations performed")
+	}
+	if res.FinalObjective >= res.InitialObjective {
+		t.Errorf("nominal delay did not improve: %v -> %v", res.InitialObjective, res.FinalObjective)
+	}
+	if res.FinalWidth <= res.InitialWidth {
+		t.Error("total width should grow")
+	}
+	// One gate per iteration, one width step each.
+	wantArea := res.InitialWidth + float64(res.Iterations)*d.Lib.DeltaW
+	if math.Abs(res.FinalWidth-wantArea) > 1e-9 {
+		t.Errorf("area accounting: %v, want %v", res.FinalWidth, wantArea)
+	}
+}
+
+func TestAcceleratedImproves(t *testing.T) {
+	d := newDesign(t, "c432")
+	res, err := Accelerated(d, Config{MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations performed")
+	}
+	if res.FinalObjective >= res.InitialObjective {
+		t.Errorf("p99 did not improve: %v -> %v", res.InitialObjective, res.FinalObjective)
+	}
+	if res.Improvement() <= 0 || res.AreaIncrease() <= 0 {
+		t.Error("summary metrics inconsistent")
+	}
+	// Pruning must actually happen on a real circuit.
+	pruned := 0
+	for _, rec := range res.Records {
+		pruned += rec.CandidatesPruned
+	}
+	if pruned == 0 {
+		t.Error("no candidates pruned in 20 iterations")
+	}
+}
+
+// The headline claim: the accelerated algorithm is exact — identical
+// gate choices, sensitivities and objective trajectory to brute force.
+func TestAcceleratedMatchesBruteForceTrajectories(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		iters int
+	}{
+		{"c17", 12},
+		{"small-1", 15},
+		{"small-2", 15},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var db, da *design.Design
+			switch tc.name {
+			case "c17":
+				db, da = newDesign(t, "c17"), newDesign(t, "c17")
+			case "small-1":
+				db, da = smallDesign(t, 1), smallDesign(t, 1)
+			default:
+				db, da = smallDesign(t, 2), smallDesign(t, 2)
+			}
+			cfg := Config{MaxIterations: tc.iters}
+			rb, err := BruteForce(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, err := Accelerated(da, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rb.Iterations != ra.Iterations {
+				t.Fatalf("iteration counts differ: brute %d vs accel %d", rb.Iterations, ra.Iterations)
+			}
+			for i := range rb.Records {
+				b, a := rb.Records[i], ra.Records[i]
+				if len(b.Gates) != 1 || len(a.Gates) != 1 || b.Gates[0] != a.Gates[0] {
+					t.Fatalf("iter %d: different gate chosen: brute %v vs accel %v", i, b.Gates, a.Gates)
+				}
+				if math.Abs(b.Sensitivity-a.Sensitivity) > 1e-12 {
+					t.Fatalf("iter %d: sensitivities differ: %v vs %v", i, b.Sensitivity, a.Sensitivity)
+				}
+				if math.Abs(b.Objective-a.Objective) > 1e-12 {
+					t.Fatalf("iter %d: objectives differ: %v vs %v", i, b.Objective, a.Objective)
+				}
+			}
+			if math.Abs(rb.FinalObjective-ra.FinalObjective) > 1e-12 {
+				t.Fatalf("final objectives differ: %v vs %v", rb.FinalObjective, ra.FinalObjective)
+			}
+			// The widths must agree gate by gate.
+			for g := 0; g < db.NL.NumGates(); g++ {
+				if db.Width(netlist.GateID(g)) != da.Width(netlist.GateID(g)) {
+					t.Fatalf("gate %d widths diverged", g)
+				}
+			}
+		})
+	}
+}
+
+// Smx must bound the exact sensitivity for every candidate (Theorem 4):
+// run one inner iteration with pruning disabled and compare each front's
+// initial bound against its final exact sensitivity.
+func TestFrontBoundDominatesSensitivity(t *testing.T) {
+	d := smallDesign(t, 3)
+	cfg := Config{DisablePruning: true}.withDefaults()
+	a, err := ssta.Analyze(d, gridFor(d, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cfg.Objective.Eval(a.SinkDist())
+	for _, gid := range candidateGates(d) {
+		f, err := newFront(a, cfg, gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := f.smx / d.Lib.DeltaW
+		prevBound := math.Inf(1)
+		for !f.dead {
+			f.propagateOneLevel(a, cfg)
+			b := f.smx / d.Lib.DeltaW
+			if b > prevBound+pruneSlack {
+				t.Fatalf("gate %d: front bound grew from %v to %v", gid, prevBound, b)
+			}
+			prevBound = b
+		}
+		sens := 0.0
+		if f.sinkDist != nil {
+			sens = (base - cfg.Objective.Eval(f.sinkDist)) / d.Lib.DeltaW
+		}
+		if sens > bound+pruneSlack {
+			t.Errorf("gate %d: sensitivity %v exceeds initial bound %v", gid, sens, bound)
+		}
+	}
+}
+
+func TestMaxIterationsHonored(t *testing.T) {
+	d := newDesign(t, "c17")
+	res, err := Accelerated(d, Config{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("ran %d iterations, cap was 3", res.Iterations)
+	}
+}
+
+func TestAreaCapHonored(t *testing.T) {
+	d := newDesign(t, "c17")
+	res, err := Accelerated(d, Config{MaxIterations: 1000, MaxAreaIncrease: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AreaIncrease() > 10+100*d.Lib.DeltaW/res.InitialWidth {
+		t.Errorf("area increased %.1f%%, cap was 10%%", res.AreaIncrease())
+	}
+}
+
+func TestMultiSize(t *testing.T) {
+	d := smallDesign(t, 4)
+	res, err := Accelerated(d, Config{MaxIterations: 5, MultiSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations")
+	}
+	if len(res.Records[0].Gates) < 2 {
+		t.Errorf("multi-size iteration sized %d gates, want >= 2", len(res.Records[0].Gates))
+	}
+	if res.FinalObjective >= res.InitialObjective {
+		t.Error("multi-size run did not improve")
+	}
+}
+
+func TestHeuristicMode(t *testing.T) {
+	d := smallDesign(t, 5)
+	res, err := Accelerated(d, Config{MaxIterations: 10, HeuristicLevels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("heuristic run made no progress")
+	}
+	if res.FinalObjective >= res.InitialObjective {
+		t.Error("heuristic run did not improve the objective")
+	}
+}
+
+func TestMeanObjective(t *testing.T) {
+	d := smallDesign(t, 6)
+	res, err := Accelerated(d, Config{MaxIterations: 8, Objective: Mean{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalObjective >= res.InitialObjective {
+		t.Error("mean-objective run did not improve")
+	}
+}
+
+func TestDisableAblationsStillExact(t *testing.T) {
+	// With pruning and elision disabled the algorithm degenerates to a
+	// front-based brute force; results must be unchanged.
+	d1 := smallDesign(t, 7)
+	d2 := smallDesign(t, 7)
+	r1, err := Accelerated(d1, Config{MaxIterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Accelerated(d2, Config{MaxIterations: 6, DisablePruning: true, DisableDeadFrontElision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Iterations != r2.Iterations || math.Abs(r1.FinalObjective-r2.FinalObjective) > 1e-12 {
+		t.Error("ablation flags changed optimization results")
+	}
+	for i := range r1.Records {
+		if r1.Records[i].Gates[0] != r2.Records[i].Gates[0] {
+			t.Fatalf("iter %d: ablation changed gate choice", i)
+		}
+	}
+	// Pruning must make the inner loop cheaper.
+	v1, v2 := 0, 0
+	for i := range r1.Records {
+		v1 += r1.Records[i].NodesVisited
+		v2 += r2.Records[i].NodesVisited
+	}
+	if v1 >= v2 {
+		t.Errorf("pruned run visited %d nodes, unpruned %d — pruning saved nothing", v1, v2)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	top := newTopK(2)
+	top.offer(pick{gate: 5, sens: 1.0})
+	top.offer(pick{gate: 3, sens: 3.0})
+	top.offer(pick{gate: 9, sens: 2.0})
+	top.offer(pick{gate: 1, sens: 0.5})
+	got := top.sorted()
+	if len(got) != 2 || got[0].gate != 3 || got[1].gate != 9 {
+		t.Fatalf("topK = %v", got)
+	}
+	if top.kthSens() != 2.0 {
+		t.Errorf("kthSens = %v, want 2", top.kthSens())
+	}
+	// Ties resolve to lowest gate ID.
+	tie := newTopK(1)
+	tie.offer(pick{gate: 7, sens: 1.0})
+	tie.offer(pick{gate: 2, sens: 1.0})
+	if tie.sorted()[0].gate != 2 {
+		t.Error("tie should resolve to lowest gate ID")
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	d := newDesign(t, "c17")
+	calls := 0
+	_, err := Accelerated(d, Config{MaxIterations: 4, OnIteration: func(r IterRecord) {
+		calls++
+		if r.TotalWidth <= 0 || r.Objective <= 0 {
+			t.Error("bad trace record")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("trace callback never invoked")
+	}
+}

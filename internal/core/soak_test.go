@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Forty dual iterations on a real benchmark: the accelerated optimizer
+// must shadow brute force exactly through regimes where sensitivities
+// crowd together and pruning gets hard (the paper's own observation
+// about late iterations). Skipped with -short.
+func TestLongHorizonExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak test")
+	}
+	db := newDesign(t, "c432")
+	da := newDesign(t, "c432")
+	cfg := Config{MaxIterations: 40}
+	rb, err := BruteForce(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Accelerated(da, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Iterations != ra.Iterations {
+		t.Fatalf("iterations: brute %d vs accel %d", rb.Iterations, ra.Iterations)
+	}
+	for i := range rb.Records {
+		if rb.Records[i].Gates[0] != ra.Records[i].Gates[0] {
+			t.Fatalf("iter %d: gates %v vs %v (sens %v vs %v)",
+				i, rb.Records[i].Gates, ra.Records[i].Gates,
+				rb.Records[i].Sensitivity, ra.Records[i].Sensitivity)
+		}
+		if math.Abs(rb.Records[i].Sensitivity-ra.Records[i].Sensitivity) > 1e-12 {
+			t.Fatalf("iter %d: sensitivity drift", i)
+		}
+	}
+	if math.Abs(rb.FinalObjective-ra.FinalObjective) > 1e-12 {
+		t.Fatal("final objectives diverged")
+	}
+	// Sanity on the run itself: meaningful improvement and pruning.
+	if ra.Improvement() < 5 {
+		t.Errorf("only %.2f%% improvement over 40 iterations", ra.Improvement())
+	}
+	var pruned, considered int
+	for _, r := range ra.Records {
+		pruned += r.CandidatesPruned
+		considered += r.CandidatesConsidered
+	}
+	if frac := float64(pruned) / float64(considered); frac < 0.5 {
+		t.Errorf("pruning rate %.1f%% over the long run", frac*100)
+	}
+}
+
+// The same soak with MultiSize: both optimizers must agree on the whole
+// set of gates sized per iteration.
+func TestMultiSizeExactness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak test")
+	}
+	db := smallDesign(t, 12)
+	da := smallDesign(t, 12)
+	cfg := Config{MaxIterations: 8, MultiSize: 3}
+	rb, err := BruteForce(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Accelerated(da, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Iterations != ra.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", rb.Iterations, ra.Iterations)
+	}
+	for i := range rb.Records {
+		bg, ag := rb.Records[i].Gates, ra.Records[i].Gates
+		if len(bg) != len(ag) {
+			t.Fatalf("iter %d: sized %d vs %d gates", i, len(bg), len(ag))
+		}
+		for j := range bg {
+			if bg[j] != ag[j] {
+				t.Fatalf("iter %d slot %d: %v vs %v", i, j, bg, ag)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package design binds a netlist, a cell library and a sizing state
+// (per-gate widths) into the object the timing engines and optimizers
+// operate on. It maintains the per-net capacitive loads implied by EQ 1:
+// a net's load is its wire capacitance plus the input-pin capacitance of
+// every reader gate (which scales with that gate's width) plus the
+// primary-output load if the net leaves the circuit.
+package design
+
+import (
+	"fmt"
+
+	"statsize/internal/cell"
+	"statsize/internal/dist"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+)
+
+// Design is a sized circuit: immutable structure plus mutable widths.
+type Design struct {
+	NL  *netlist.Netlist
+	E   *netlist.Elab
+	Lib *cell.Library
+
+	widths []float64 // per gate, in multiples of minimum width
+	loads  []float64 // per net, fF, kept consistent with widths
+	total  float64   // sum of widths — the paper's "total gate size"
+}
+
+// New elaborates the netlist and returns a design with every gate at
+// minimum width.
+func New(nl *netlist.Netlist, lib *cell.Library) (*Design, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := nl.Elaborate()
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{
+		NL:     nl,
+		E:      e,
+		Lib:    lib,
+		widths: make([]float64, nl.NumGates()),
+		loads:  make([]float64, nl.NumNets()),
+	}
+	for i := range d.widths {
+		d.widths[i] = lib.WMin
+		d.total += lib.WMin
+	}
+	for n := 0; n < nl.NumNets(); n++ {
+		d.loads[n] = d.computeLoad(netlist.NetID(n))
+	}
+	return d, nil
+}
+
+// computeLoad evaluates a net's load from scratch.
+func (d *Design) computeLoad(n netlist.NetID) float64 {
+	readers := d.NL.Readers(n)
+	load := d.Lib.WireCap(len(readers))
+	for _, r := range readers {
+		g := d.NL.Gate(r.Gate)
+		load += d.Lib.InputCap(g.Kind, d.widths[r.Gate])
+	}
+	if d.NL.IsPO(n) {
+		load += d.Lib.POLoad
+	}
+	return load
+}
+
+// Width returns gate g's current width.
+func (d *Design) Width(g netlist.GateID) float64 { return d.widths[g] }
+
+// SetWidth resizes gate g, updating the loads of the nets feeding it.
+// The width is clamped to the library's sizing range; the applied width
+// is returned.
+func (d *Design) SetWidth(g netlist.GateID, w float64) float64 {
+	w = d.Lib.ClampWidth(w)
+	old := d.widths[g]
+	if w == old {
+		return w
+	}
+	gate := d.NL.Gate(g)
+	delta := d.Lib.InputCap(gate.Kind, w) - d.Lib.InputCap(gate.Kind, old)
+	// Each pin contributes its own input capacitance, so a net wired to
+	// two pins of g gains delta once per pin.
+	for _, in := range gate.Ins {
+		d.loads[in] += delta
+	}
+	d.widths[g] = w
+	d.total += w - old
+	return w
+}
+
+// Load returns the capacitive load on net n, in fF.
+func (d *Design) Load(n netlist.NetID) float64 { return d.loads[n] }
+
+// WithWidth runs fn with gate g temporarily resized to w, then restores
+// the exact prior state. Incremental load updates are not exactly
+// reversible in floating point (+delta followed by -delta can round
+// differently), so the affected loads, the width and the running total
+// are snapshotted and written back verbatim — trial perturbations in the
+// optimizers must leave the base design bit-identical.
+func (d *Design) WithWidth(g netlist.GateID, w float64, fn func() error) error {
+	gate := d.NL.Gate(g)
+	oldW := d.widths[g]
+	oldTotal := d.total
+	oldLoads := make([]float64, len(gate.Ins))
+	for i, in := range gate.Ins {
+		oldLoads[i] = d.loads[in]
+	}
+	d.SetWidth(g, w)
+	err := fn()
+	d.widths[g] = oldW
+	d.total = oldTotal
+	for i, in := range gate.Ins {
+		d.loads[in] = oldLoads[i]
+	}
+	return err
+}
+
+// TotalWidth returns the sum of all gate widths — the paper's "total
+// gate size" (the y-axis of Figure 10 and the basis of Table 1's "% inc"
+// column).
+func (d *Design) TotalWidth() float64 { return d.total }
+
+// EdgeNominalDelay returns the nominal pin-to-pin delay of a timing
+// edge (EQ 1), or 0 for the zero-delay source→PI and PO→sink arcs.
+func (d *Design) EdgeNominalDelay(e graph.EdgeID) float64 {
+	g := d.E.EdgeGate[e]
+	if g == netlist.NoGate {
+		return 0
+	}
+	gate := d.NL.Gate(g)
+	return d.Lib.NominalDelay(gate.Kind, d.E.EdgePin[e], d.widths[g], d.loads[gate.Out])
+}
+
+// EdgeDelayDist returns the discretized pin-to-pin delay distribution of
+// a timing edge on grid dt, or nil for zero-delay source/sink arcs.
+func (d *Design) EdgeDelayDist(dt float64, e graph.EdgeID) (*dist.Dist, error) {
+	g := d.E.EdgeGate[e]
+	if g == netlist.NoGate {
+		return nil, nil
+	}
+	gate := d.NL.Gate(g)
+	return d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[e], d.widths[g], d.loads[gate.Out])
+}
+
+// Clone returns an independent copy sharing the immutable structure.
+func (d *Design) Clone() *Design {
+	c := *d
+	c.widths = append([]float64(nil), d.widths...)
+	c.loads = append([]float64(nil), d.loads...)
+	return &c
+}
+
+// RecomputeLoads rebuilds every net load from scratch and reports the
+// first inconsistency with the incrementally maintained values, if any —
+// a self-check used by tests and assertions.
+func (d *Design) RecomputeLoads(tol float64) error {
+	for n := 0; n < d.NL.NumNets(); n++ {
+		want := d.computeLoad(netlist.NetID(n))
+		if diff := want - d.loads[n]; diff > tol || diff < -tol {
+			return fmt.Errorf("design: load of net %q drifted: cached %v, actual %v",
+				d.NL.NetName(netlist.NetID(n)), d.loads[n], want)
+		}
+	}
+	return nil
+}
+
+// SuggestDT returns a grid bin width for SSTA: the estimated maximum
+// nominal circuit delay divided by the requested bin budget. The
+// estimate is a longest-path pass over nominal delays at current widths.
+func (d *Design) SuggestDT(bins int) float64 {
+	if bins <= 0 {
+		panic("design: non-positive bin budget")
+	}
+	g := d.E.G
+	arr := make([]float64, g.NumNodes())
+	for _, n := range g.Topo() {
+		for _, eid := range g.In(n) {
+			e := g.EdgeAt(eid)
+			if t := arr[e.From] + d.EdgeNominalDelay(eid); t > arr[n] {
+				arr[n] = t
+			}
+		}
+	}
+	maxDelay := arr[g.Sink()]
+	if maxDelay <= 0 {
+		maxDelay = 1
+	}
+	// Sizing reduces delay, and the +3σ tail extends ~30% past nominal;
+	// the budget covers the nominal span with headroom.
+	return 1.35 * maxDelay / float64(bins)
+}

@@ -1,0 +1,124 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+)
+
+func TestWithWidthRestoresBitExact(t *testing.T) {
+	d := c17Design(t)
+	// Capture the complete state.
+	widths := make([]float64, d.NL.NumGates())
+	loads := make([]float64, d.NL.NumNets())
+	for g := range widths {
+		widths[g] = d.Width(netlist.GateID(g))
+	}
+	for n := range loads {
+		loads[n] = d.Load(netlist.NetID(n))
+	}
+	total := d.TotalWidth()
+	// Hammer WithWidth with many trial widths, including clamped ones.
+	for trial := 0; trial < 50; trial++ {
+		g := netlist.GateID(trial % d.NL.NumGates())
+		w := 0.5 + float64(trial)*0.7
+		err := d.WithWidth(g, w, func() error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := range widths {
+		if d.Width(netlist.GateID(g)) != widths[g] {
+			t.Fatalf("width of gate %d drifted", g)
+		}
+	}
+	for n := range loads {
+		if d.Load(netlist.NetID(n)) != loads[n] {
+			t.Fatalf("load of net %d drifted: %v vs %v", n, d.Load(netlist.NetID(n)), loads[n])
+		}
+	}
+	if d.TotalWidth() != total {
+		t.Fatal("total width drifted")
+	}
+}
+
+func TestWithWidthPropagatesError(t *testing.T) {
+	d := c17Design(t)
+	sentinel := &netlist.Netlist{}
+	_ = sentinel
+	errWant := errTest{}
+	err := d.WithWidth(0, 2, func() error { return errWant })
+	if err != errWant {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	// State restored even on error.
+	if d.Width(0) != d.Lib.WMin {
+		t.Error("width not restored after error")
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "sentinel" }
+
+func TestNewRejectsInvalidLibrary(t *testing.T) {
+	lib := cell.Default180nm()
+	lib.SigmaRatio = 2 // invalid
+	if _, err := New(netlist.C17(cell.Default180nm()), lib); err == nil {
+		t.Error("expected library validation error")
+	}
+}
+
+func TestNewRejectsUnfinalizedNetlist(t *testing.T) {
+	nl := netlist.New("raw")
+	if _, err := nl.AddPI("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nl, cell.Default180nm()); err == nil {
+		t.Error("expected elaboration error for unfinalized netlist")
+	}
+}
+
+func TestSuggestDTPanicsOnBadBins(t *testing.T) {
+	d := c17Design(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.SuggestDT(0)
+}
+
+func TestRecomputeLoadsDetectsDrift(t *testing.T) {
+	d := c17Design(t)
+	// Corrupt a cached load and verify the self-check notices.
+	d.loads[0] += 1
+	if err := d.RecomputeLoads(1e-9); err == nil {
+		t.Error("expected drift detection")
+	}
+}
+
+func TestSetWidthNoOp(t *testing.T) {
+	d := c17Design(t)
+	before := d.TotalWidth()
+	d.SetWidth(0, d.Width(0)) // same width: no-op
+	if d.TotalWidth() != before {
+		t.Error("no-op resize changed total width")
+	}
+	if err := d.RecomputeLoads(1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeNominalDelayFinite(t *testing.T) {
+	d := c17Design(t)
+	for e := 0; e < d.E.G.NumEdges(); e++ {
+		v := d.EdgeNominalDelay(graph.EdgeID(e))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("edge %d delay %v", e, v)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment tests fast: two small circuits, few
+// iterations, few samples.
+func quickOpts() Options {
+	return Options{
+		Circuits:        []string{"c17", "c432"},
+		Iterations:      8,
+		TimedIterations: 2,
+		Bins:            300,
+		MCSamples:       400,
+		TracePoints:     4,
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	rows, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Det99 <= 0 || r.Stat99 <= 0 {
+			t.Errorf("%s: non-positive delays", r.Circuit)
+		}
+		if r.StatIters == 0 || r.DetIters == 0 {
+			t.Errorf("%s: zero iterations", r.Circuit)
+		}
+		if r.AreaIncPct <= 0 {
+			t.Errorf("%s: no area added", r.Circuit)
+		}
+	}
+	// c432 row must carry the Table 1 node/edge counts.
+	if rows[1].Nodes != 214 || rows[1].Edges != 379 {
+		t.Errorf("c432 counts %d/%d, want 214/379", rows[1].Nodes, rows[1].Edges)
+	}
+	var b strings.Builder
+	if err := RenderTable1(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c432") || !strings.Contains(b.String(), "average improvement") {
+		t.Error("render incomplete")
+	}
+	b.Reset()
+	if err := Table1CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "impr_pct") {
+		t.Error("CSV incomplete")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	opts := quickOpts()
+	opts.Circuits = []string{"c432"}
+	rows, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.BruteAvg <= 0 || r.AccelAvg <= 0 {
+		t.Fatal("missing timings")
+	}
+	if r.Factor <= 1 {
+		t.Errorf("accelerated not faster than brute force: factor %.2f", r.Factor)
+	}
+	if r.PrunedPct <= 50 {
+		t.Errorf("pruned only %.1f%% of candidates", r.PrunedPct)
+	}
+	if r.FactorMin > r.Factor || r.Factor > r.FactorMax {
+		t.Errorf("factor %v outside its range [%v, %v]", r.Factor, r.FactorMin, r.FactorMax)
+	}
+	var b strings.Builder
+	if err := RenderTable2(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table2CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure10Quick(t *testing.T) {
+	opts := quickOpts()
+	res, err := Figure10("c432", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deterministic) < 2 || len(res.Statistical) < 2 {
+		t.Fatalf("curves too short: %d/%d points", len(res.Deterministic), len(res.Statistical))
+	}
+	// Area grows monotonically along each curve; the bound tracks MC.
+	for _, curve := range [][]CurvePoint{res.Deterministic, res.Statistical} {
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Area < curve[i-1].Area {
+				t.Error("area decreased along curve")
+			}
+		}
+		for _, pt := range curve {
+			rel := (pt.P99Bound - pt.P99MC) / pt.P99MC
+			if rel < -0.02 || rel > 0.08 {
+				t.Errorf("bound vs MC diverged: %.4f vs %.4f", pt.P99Bound, pt.P99MC)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	opts := quickOpts()
+	opts.Iterations = 12
+	res, err := Figure1("c432", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetHist.NumPaths() <= 0 || res.StatHist.NumPaths() <= 0 {
+		t.Fatal("empty path histograms")
+	}
+	if res.DetSink == nil || res.StatSink == nil {
+		t.Fatal("missing sink distributions")
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wall") {
+		t.Error("Figure 1 render incomplete")
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	res, err := Figure2("c432", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P99After >= res.P99Before {
+		t.Errorf("sizing did not improve p99: %v -> %v", res.P99Before, res.P99After)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsVsMCQuick(t *testing.T) {
+	opts := quickOpts()
+	opts.MCSamples = 4000
+	rows, err := BoundsVsMC(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Conservative and tight at p99 (the paper reports <1%; sampling
+		// noise at 4000 samples warrants slack).
+		if r.P99ErrPct < -1.5 {
+			t.Errorf("%s: bound below MC by %.2f%%", r.Circuit, -r.P99ErrPct)
+		}
+		if r.P99ErrPct > 5 {
+			t.Errorf("%s: bound loose by %.2f%%", r.Circuit, r.P99ErrPct)
+		}
+	}
+	var b strings.Builder
+	if err := RenderBounds(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCircuit(t *testing.T) {
+	opts := quickOpts()
+	opts.Circuits = []string{"c404"}
+	if _, err := Table1(opts); err == nil {
+		t.Error("expected unknown-circuit error")
+	}
+}
+
+func TestFullOptionsProtocol(t *testing.T) {
+	f := Full().withDefaults()
+	if f.Iterations < 1000 {
+		t.Error("full protocol must run the paper's 1000+ iterations")
+	}
+	if len(f.Circuits) != 10 {
+		t.Error("full protocol must cover the whole suite")
+	}
+}

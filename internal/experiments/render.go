@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"statsize/internal/dist"
+	"statsize/internal/report"
+	"statsize/internal/sta"
+)
+
+// RenderTable1 writes Table 1 in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	t := report.NewTable(
+		"Table 1. Results for the 99-percentile delay point",
+		"circuit", "node/edge", "% inc", "deterministic (ns)", "statistical (ns)", "% impr.", "iters (det/stat)")
+	var sum float64
+	for _, r := range rows {
+		t.AddRowStrings(
+			r.Circuit,
+			fmt.Sprintf("%d/%d", r.Nodes, r.Edges),
+			fmt.Sprintf("%.1f", r.AreaIncPct),
+			fmt.Sprintf("%.3f", r.Det99),
+			fmt.Sprintf("%.3f", r.Stat99),
+			fmt.Sprintf("%.2f", r.ImprPct),
+			fmt.Sprintf("%d/%d", r.DetIters, r.StatIters),
+		)
+		sum += r.ImprPct
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if len(rows) > 0 {
+		_, err := fmt.Fprintf(w, "average improvement: %.2f%%\n", sum/float64(len(rows)))
+		return err
+	}
+	return nil
+}
+
+// Table1CSV writes Table 1 as CSV.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	t := report.NewTable("", "circuit", "nodes", "edges", "area_inc_pct", "det_p99_ns", "stat_p99_ns", "impr_pct", "det_iters", "stat_iters")
+	for _, r := range rows {
+		t.AddRowStrings(
+			r.Circuit,
+			fmt.Sprint(r.Nodes), fmt.Sprint(r.Edges),
+			fmt.Sprintf("%.4f", r.AreaIncPct),
+			fmt.Sprintf("%.6f", r.Det99), fmt.Sprintf("%.6f", r.Stat99),
+			fmt.Sprintf("%.4f", r.ImprPct),
+			fmt.Sprint(r.DetIters), fmt.Sprint(r.StatIters),
+		)
+	}
+	return t.WriteCSV(w)
+}
+
+// RenderTable2 writes Table 2 in the paper's layout.
+func RenderTable2(w io.Writer, rows []Table2Row) error {
+	t := report.NewTable(
+		"Table 2. Results for the runtime improvement",
+		"circuit", "brute force (s/iter)", "our algo. (s/iter)", "imp. factor",
+		"range of time per iter (s)", "range of impr. factor", "pruned %")
+	for _, r := range rows {
+		t.AddRowStrings(
+			r.Circuit,
+			fmt.Sprintf("%.3f", r.BruteAvg.Seconds()),
+			fmt.Sprintf("%.3f", r.AccelAvg.Seconds()),
+			fmt.Sprintf("%.1f", r.Factor),
+			fmt.Sprintf("%.3f-%.3f", r.AccelMin.Seconds(), r.AccelMax.Seconds()),
+			fmt.Sprintf("%.1f-%.1f", r.FactorMin, r.FactorMax),
+			fmt.Sprintf("%.1f", r.PrunedPct),
+		)
+	}
+	return t.Render(w)
+}
+
+// Table2CSV writes Table 2 as CSV.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	t := report.NewTable("", "circuit", "brute_s_per_iter", "accel_s_per_iter", "factor",
+		"accel_min_s", "accel_max_s", "factor_min", "factor_max", "pruned_pct", "iterations")
+	for _, r := range rows {
+		t.AddRowStrings(
+			r.Circuit,
+			fmt.Sprintf("%.6f", r.BruteAvg.Seconds()),
+			fmt.Sprintf("%.6f", r.AccelAvg.Seconds()),
+			fmt.Sprintf("%.3f", r.Factor),
+			fmt.Sprintf("%.6f", r.AccelMin.Seconds()),
+			fmt.Sprintf("%.6f", r.AccelMax.Seconds()),
+			fmt.Sprintf("%.3f", r.FactorMin),
+			fmt.Sprintf("%.3f", r.FactorMax),
+			fmt.Sprintf("%.2f", r.PrunedPct),
+			fmt.Sprint(r.Iterations),
+		)
+	}
+	return t.WriteCSV(w)
+}
+
+// RenderFigure10 draws the area-delay curves as an ASCII plot plus a
+// point table.
+func (f *Figure10Result) Render(w io.Writer) error {
+	p := report.NewPlot(
+		fmt.Sprintf("Figure 10. Area-delay curve for %s", f.Circuit),
+		"99%-pt delay (ns)", "total gate size")
+	det := report.Series{Name: "deterministic (bounds)", Marker: 'x'}
+	detMC := report.Series{Name: "deterministic (Monte Carlo)", Marker: '+'}
+	for _, pt := range f.Deterministic {
+		det.X = append(det.X, pt.P99Bound)
+		det.Y = append(det.Y, pt.Area)
+		detMC.X = append(detMC.X, pt.P99MC)
+		detMC.Y = append(detMC.Y, pt.Area)
+	}
+	st := report.Series{Name: "statistical (bounds)", Marker: 'o'}
+	stMC := report.Series{Name: "statistical (Monte Carlo)", Marker: '*'}
+	for _, pt := range f.Statistical {
+		st.X = append(st.X, pt.P99Bound)
+		st.Y = append(st.Y, pt.Area)
+		stMC.X = append(stMC.X, pt.P99MC)
+		stMC.Y = append(stMC.Y, pt.Area)
+	}
+	p.Add(det)
+	p.Add(detMC)
+	p.Add(st)
+	p.Add(stMC)
+	return p.Render(w)
+}
+
+// CSV writes the Figure 10 curves as CSV.
+func (f *Figure10Result) CSV(w io.Writer) error {
+	t := report.NewTable("", "method", "iter", "area", "p99_bound_ns", "p99_mc_ns")
+	emit := func(method string, pts []CurvePoint) {
+		for _, pt := range pts {
+			t.AddRowStrings(method, fmt.Sprint(pt.Iter),
+				fmt.Sprintf("%.4f", pt.Area),
+				fmt.Sprintf("%.6f", pt.P99Bound),
+				fmt.Sprintf("%.6f", pt.P99MC))
+		}
+	}
+	emit("deterministic", f.Deterministic)
+	emit("statistical", f.Statistical)
+	return t.WriteCSV(w)
+}
+
+// Render draws the Figure 1 path-delay profiles.
+func (f *Figure1Result) Render(w io.Writer) error {
+	p := report.NewPlot(
+		fmt.Sprintf("Figure 1a. Path distribution after optimization (%s)", f.Circuit),
+		"path delay (ns)", "log10(1+#paths)")
+	p.Add(histSeries("deterministic (wall)", 'x', f.DetHist))
+	p.Add(histSeries("statistical (unbalanced)", 'o', f.StatHist))
+	if err := p.Render(w); err != nil {
+		return err
+	}
+	q := report.NewPlot(
+		"Figure 1b. Circuit delay PDFs",
+		"delay (ns)", "probability mass")
+	q.Add(pdfSeries("deterministic", 'x', f.DetSink))
+	q.Add(pdfSeries("statistical", 'o', f.StatSink))
+	if err := q.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"paths within 10%% of critical: deterministic %.3g, statistical %.3g (%.1fx fewer)\n",
+		f.DetWall, f.StatWall, f.DetWall/maxf(f.StatWall, 1))
+	return err
+}
+
+// histSeries maps a path histogram to a log-count series (path counts
+// span many orders of magnitude).
+func histSeries(name string, marker rune, h *sta.Histogram) report.Series {
+	s := report.Series{Name: name, Marker: marker}
+	for i, c := range h.Counts {
+		if c <= 0 {
+			continue
+		}
+		s.X = append(s.X, (float64(i)+0.5)*h.Bin)
+		s.Y = append(s.Y, math.Log10(1+c))
+	}
+	return s
+}
+
+// pdfSeries maps a discretized distribution to a (time, mass) series.
+func pdfSeries(name string, marker rune, d *dist.Dist) report.Series {
+	s := report.Series{Name: name, Marker: marker}
+	for k := 0; k < d.NumBins(); k++ {
+		m := d.MassAt(k)
+		if m <= 0 {
+			continue
+		}
+		s.X = append(s.X, (float64(d.I0()+k)+0.5)*d.DT())
+		s.Y = append(s.Y, m)
+	}
+	return s
+}
+
+// RenderFigure2 writes the single-step CDF perturbation illustration.
+func (f *Figure2Result) Render(w io.Writer) error {
+	p := report.NewPlot(
+		fmt.Sprintf("Figure 2. CDF perturbation from sizing gate %d (%s)", f.Gate, f.Circuit),
+		"delay (ns)", "cumulative probability")
+	before := report.Series{Name: "unperturbed CDF", Marker: 'x'}
+	after := report.Series{Name: "perturbed CDF", Marker: 'o'}
+	for _, s := range []struct {
+		d   *dist.Dist
+		ser *report.Series
+	}{{f.Unperturbed, &before}, {f.Perturbed, &after}} {
+		cum := 0.0
+		for k := 0; k < s.d.NumBins(); k++ {
+			cum += s.d.MassAt(k)
+			s.ser.X = append(s.ser.X, float64(s.d.I0()+k+1)*s.d.DT())
+			s.ser.Y = append(s.ser.Y, cum)
+		}
+	}
+	p.Add(before)
+	p.Add(after)
+	if err := p.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "99-percentile delay: %.4f -> %.4f ns (change %.4f ns)\n",
+		f.P99Before, f.P99After, f.P99Before-f.P99After)
+	return err
+}
+
+// RenderBounds writes the bounds-vs-Monte-Carlo accuracy table.
+func RenderBounds(w io.Writer, rows []BoundsRow) error {
+	t := report.NewTable(
+		"SSTA bound vs Monte Carlo (Section 4 accuracy claim)",
+		"circuit", "p50 bound (ns)", "p50 MC (ns)", "p99 bound (ns)", "p99 MC (ns)", "p99 err %")
+	for _, r := range rows {
+		t.AddRowStrings(r.Circuit,
+			fmt.Sprintf("%.4f", r.P50Bound), fmt.Sprintf("%.4f", r.P50MC),
+			fmt.Sprintf("%.4f", r.P99Bound), fmt.Sprintf("%.4f", r.P99MC),
+			fmt.Sprintf("%.2f", r.P99ErrPct))
+	}
+	return t.Render(w)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

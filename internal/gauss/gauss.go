@@ -1,0 +1,172 @@
+// Package gauss implements moment-based analytic SSTA in the style of
+// the paper's related work ([8] Jacobs & Berkelaar DATE'00, [9] Raj,
+// Vrudhula & Wang DAC'04): every arrival time is approximated as a
+// Gaussian carrying only mean and variance, sums add moments, and the
+// statistical maximum uses Clark's formulas (C. Clark, "The greatest of
+// a finite set of random variables", Operations Research 1961).
+//
+// The paper's contribution deliberately avoids this approximation — its
+// discretized distributions capture the full CDF shape — so this package
+// serves as the comparison baseline: fast, but increasingly wrong where
+// max operations make arrival times skewed and non-Gaussian.
+package gauss
+
+import (
+	"fmt"
+	"math"
+
+	"statsize/internal/design"
+	"statsize/internal/graph"
+)
+
+// Moments is a Gaussian approximation of a random variable.
+type Moments struct {
+	Mean float64
+	Var  float64
+}
+
+// Std returns the standard deviation.
+func (m Moments) Std() float64 {
+	if m.Var <= 0 {
+		return 0
+	}
+	return math.Sqrt(m.Var)
+}
+
+// Percentile evaluates the Gaussian quantile mean + z(p)·std.
+func (m Moments) Percentile(p float64) float64 {
+	return m.Mean + normQuantile(p)*m.Std()
+}
+
+// Add returns the moments of the sum of independent variables.
+func Add(a, b Moments) Moments {
+	return Moments{Mean: a.Mean + b.Mean, Var: a.Var + b.Var}
+}
+
+// MaxClark returns Clark's Gaussian approximation of max(X, Y) for
+// independent X and Y (the related work's correlation handling also
+// assumes independence at reconvergence, like the paper's bound).
+func MaxClark(a, b Moments) Moments {
+	theta := math.Sqrt(a.Var + b.Var)
+	if theta < 1e-15 {
+		// Both (near-)deterministic: the max is the larger mean.
+		if a.Mean >= b.Mean {
+			return a
+		}
+		return b
+	}
+	alpha := (a.Mean - b.Mean) / theta
+	phiA := stdNormalCDF(alpha)
+	phiB := stdNormalCDF(-alpha)
+	pdf := stdNormalPDF(alpha)
+	mean := a.Mean*phiA + b.Mean*phiB + theta*pdf
+	second := (a.Mean*a.Mean+a.Var)*phiA +
+		(b.Mean*b.Mean+b.Var)*phiB +
+		(a.Mean+b.Mean)*theta*pdf
+	v := second - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return Moments{Mean: mean, Var: v}
+}
+
+// Analysis is a completed moment-propagation SSTA pass.
+type Analysis struct {
+	D       *design.Design
+	arrival []Moments
+}
+
+// Analyze propagates (mean, variance) pairs through the timing graph:
+// convolution becomes moment addition and the fanin max uses Clark's
+// approximation. Edge delay variance follows the library's sigma ratio
+// applied to the nominal delay (the truncation of the underlying model
+// shrinks true sigma by ~2%; this baseline ignores that, as [8] does).
+func Analyze(d *design.Design) *Analysis {
+	g := d.E.G
+	a := &Analysis{D: d, arrival: make([]Moments, g.NumNodes())}
+	sigma := d.Lib.SigmaRatio
+	for _, n := range g.Topo() {
+		first := true
+		var acc Moments
+		for _, eid := range g.In(n) {
+			e := g.EdgeAt(eid)
+			nom := d.EdgeNominalDelay(eid)
+			term := Add(a.arrival[e.From], Moments{Mean: nom, Var: (sigma * nom) * (sigma * nom)})
+			if first {
+				acc = term
+				first = false
+			} else {
+				acc = MaxClark(acc, term)
+			}
+		}
+		if !first {
+			a.arrival[n] = acc
+		}
+	}
+	return a
+}
+
+// Arrival returns the Gaussian arrival approximation at a node.
+func (a *Analysis) Arrival(n graph.NodeID) Moments { return a.arrival[n] }
+
+// Sink returns the circuit-delay approximation.
+func (a *Analysis) Sink() Moments { return a.arrival[a.D.E.G.Sink()] }
+
+// Percentile evaluates the Gaussian circuit-delay quantile.
+func (a *Analysis) Percentile(p float64) float64 { return a.Sink().Percentile(p) }
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+func stdNormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// normQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation; |relative error| < 1.2e-9 — far below the use cases
+// here).
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("gauss: quantile of p=%v", p))
+	}
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+	)
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+}

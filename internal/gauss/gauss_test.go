@@ -1,0 +1,169 @@
+package gauss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/design"
+	"statsize/internal/montecarlo"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.8413447, 1.0},
+		{0.9772499, 2.0},
+		{0.99, 2.3263479},
+		{0.0013499, -3.0},
+		{0.999, 3.0902323},
+	}
+	for _, c := range cases {
+		approx(t, normQuantile(c.p), c.z, 1e-5, "normQuantile")
+	}
+	// Symmetry.
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		approx(t, normQuantile(p), -normQuantile(1-p), 1e-9, "quantile symmetry")
+	}
+}
+
+func TestNormQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	normQuantile(0)
+}
+
+func TestMaxClarkAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct{ m1, s1, m2, s2 float64 }{
+		{0, 1, 0, 1},
+		{0, 1, 0.5, 1},
+		{0, 1, 3, 0.2},
+		{1, 0.1, 1, 0.4},
+		{-2, 0.5, 2, 0.5},
+	}
+	for _, c := range cases {
+		got := MaxClark(Moments{c.m1, c.s1 * c.s1}, Moments{c.m2, c.s2 * c.s2})
+		const n = 400000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := math.Max(c.m1+c.s1*rng.NormFloat64(), c.m2+c.s2*rng.NormFloat64())
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		approx(t, got.Mean, mean, 0.01, "Clark mean")
+		approx(t, got.Var, variance, 0.02, "Clark variance")
+	}
+}
+
+func TestMaxClarkDominatedOperand(t *testing.T) {
+	a := Moments{Mean: 10, Var: 0.01}
+	b := Moments{Mean: 0, Var: 0.01}
+	got := MaxClark(a, b)
+	approx(t, got.Mean, a.Mean, 1e-6, "dominated max mean")
+	approx(t, got.Var, a.Var, 1e-6, "dominated max variance")
+}
+
+func TestMaxClarkDegenerate(t *testing.T) {
+	got := MaxClark(Moments{Mean: 1}, Moments{Mean: 2})
+	if got.Mean != 2 || got.Var != 0 {
+		t.Errorf("degenerate max = %+v", got)
+	}
+}
+
+func TestAddMoments(t *testing.T) {
+	got := Add(Moments{1, 2}, Moments{3, 4})
+	if got.Mean != 4 || got.Var != 6 {
+		t.Errorf("Add = %+v", got)
+	}
+}
+
+func newDesign(t *testing.T, name string) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	var nl *netlist.Netlist
+	if name == "c17" {
+		nl = netlist.C17(lib)
+	} else {
+		sp, _ := circuitgen.ByName(name)
+		var err error
+		nl, err = circuitgen.Generate(lib, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAnalyzeTracksDiscretizedSSTA(t *testing.T) {
+	// The Gaussian baseline and the discretized engine make the same
+	// independence assumption; on benchmark circuits their medians agree
+	// to ~1% while tails drift a little more (the Gaussian ignores the
+	// skew that max operations create and the truncation of the model).
+	for _, name := range []string{"c17", "c432", "c880"} {
+		d := newDesign(t, name)
+		ga := Analyze(d)
+		da, err := ssta.Analyze(d, d.SuggestDT(600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p50g, p50d := ga.Percentile(0.5), da.Percentile(0.5)
+		if rel := math.Abs(p50g-p50d) / p50d; rel > 0.015 {
+			t.Errorf("%s: p50 gauss %.4f vs discretized %.4f (%.1f%%)", name, p50g, p50d, rel*100)
+		}
+		p99g, p99d := ga.Percentile(0.99), da.Percentile(0.99)
+		if rel := math.Abs(p99g-p99d) / p99d; rel > 0.04 {
+			t.Errorf("%s: p99 gauss %.4f vs discretized %.4f (%.1f%%)", name, p99g, p99d, rel*100)
+		}
+	}
+}
+
+func TestAnalyzeVsMonteCarlo(t *testing.T) {
+	d := newDesign(t, "c432")
+	ga := Analyze(d)
+	mc, err := montecarlo.Run(d, 20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline ignores the ±3σ truncation (true σ is 0.973σ) and
+	// reconvergent correlation, so it runs slightly high: mean within 2%,
+	// p99 within a few % (Gaussian tail approximation).
+	if rel := math.Abs(ga.Sink().Mean-mc.Mean()) / mc.Mean(); rel > 0.02 {
+		t.Errorf("mean off by %.2f%%", rel*100)
+	}
+	if rel := math.Abs(ga.Percentile(0.99)-mc.Percentile(0.99)) / mc.Percentile(0.99); rel > 0.05 {
+		t.Errorf("p99 off by %.2f%%", rel*100)
+	}
+}
+
+func TestAnalyzeMonotoneInWidth(t *testing.T) {
+	d := newDesign(t, "c17")
+	before := Analyze(d).Sink().Mean
+	for g := 0; g < d.NL.NumGates(); g++ {
+		d.SetWidth(netlist.GateID(g), 2)
+	}
+	after := Analyze(d).Sink().Mean
+	if after >= before {
+		t.Errorf("uniform upsizing did not reduce Gaussian mean: %v -> %v", before, after)
+	}
+}

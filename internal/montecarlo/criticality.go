@@ -1,0 +1,68 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"statsize/internal/design"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+)
+
+// Criticality estimates, for every gate, the probability that it lies on
+// the circuit's critical path — the statistical generalization of "being
+// on the critical path" that motivates why the paper's optimizer must
+// compute sensitivities for all gates rather than one path (Section
+// 3.1). Each Monte Carlo sample backtracks its argmax path from the sink
+// and credits every gate on it.
+func Criticality(d *design.Design, samples int, seed int64) ([]float64, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("montecarlo: %d samples", samples)
+	}
+	g := d.E.G
+	rng := rand.New(rand.NewSource(seed))
+	nominal := make([]float64, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		nominal[e] = d.EdgeNominalDelay(graph.EdgeID(e))
+	}
+	sigma, trunc := d.Lib.SigmaRatio, d.Lib.TruncSigmas
+	topo := g.Topo()
+	arrival := make([]float64, g.NumNodes())
+	via := make([]graph.EdgeID, g.NumNodes()) // argmax in-edge per node
+	delay := make([]float64, g.NumEdges())
+	counts := make([]int, d.NL.NumGates())
+
+	for s := 0; s < samples; s++ {
+		for e := range delay {
+			if nominal[e] == 0 {
+				delay[e] = 0
+				continue
+			}
+			delay[e] = nominal[e] * (1 + sigma*truncNorm(rng, trunc))
+		}
+		for _, n := range topo {
+			best, bestEdge := 0.0, graph.EdgeID(-1)
+			for _, eid := range g.In(n) {
+				e := g.EdgeAt(eid)
+				if t := arrival[e.From] + delay[eid]; bestEdge < 0 || t > best {
+					best, bestEdge = t, eid
+				}
+			}
+			arrival[n] = best
+			via[n] = bestEdge
+		}
+		// Backtrack the unique argmax path and credit its gates.
+		for n := g.Sink(); n != g.Source(); {
+			eid := via[n]
+			if gid := d.E.EdgeGate[eid]; gid != netlist.NoGate {
+				counts[gid]++
+			}
+			n = g.EdgeAt(eid).From
+		}
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / float64(samples)
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package montecarlo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/design"
+	"statsize/internal/netlist"
+)
+
+func chainDesign(t *testing.T) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	src := "INPUT(a)\nOUTPUT(z)\nm1 = NOT(a)\nm2 = NOT(m1)\nz = NOT(m2)\n"
+	nl, err := netlist.ParseBench(strings.NewReader(src), "chain3", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCriticalityChainIsOne(t *testing.T) {
+	d := chainDesign(t)
+	crit, err := Criticality(d, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, c := range crit {
+		if c != 1.0 {
+			t.Errorf("chain gate %d criticality %v, want 1", g, c)
+		}
+	}
+}
+
+func TestCriticalityBalancedFork(t *testing.T) {
+	lib := cell.Default180nm()
+	// Two identical parallel branches merging at a NAND: each branch
+	// should be critical about half the time.
+	src := `INPUT(a)
+INPUT(b)
+OUTPUT(z)
+p = NOT(a)
+q = NOT(b)
+z = NAND(p, q)
+`
+	nl, err := netlist.ParseBench(strings.NewReader(src), "fork", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := Criticality(d, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zGate, _ := nl.NetByName("z")
+	if crit[nl.Driver(zGate)] != 1.0 {
+		t.Error("merge gate must always be critical")
+	}
+	p, _ := nl.NetByName("p")
+	q, _ := nl.NetByName("q")
+	cp, cq := crit[nl.Driver(p)], crit[nl.Driver(q)]
+	// The NAND pin factors skew the split slightly off 1/2; both
+	// branches must be critical a substantial fraction of the time and
+	// the fractions must sum to ~1 (paths are disjoint above the merge).
+	if cp < 0.15 || cq < 0.15 {
+		t.Errorf("fork criticalities %v/%v too lopsided", cp, cq)
+	}
+	if math.Abs(cp+cq-1) > 0.02 {
+		t.Errorf("fork criticalities sum to %v, want ~1", cp+cq)
+	}
+}
+
+func TestCriticalityValidation(t *testing.T) {
+	d := chainDesign(t)
+	if _, err := Criticality(d, 0, 1); err == nil {
+		t.Error("expected sample-count error")
+	}
+}
+
+func TestCorrelatedDegeneratesToIndependent(t *testing.T) {
+	d := chainDesign(t)
+	corr, err := RunCorrelated(d, 4000, 11, CorrModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := Run(d, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same model (fully local variance): distributions agree closely.
+	if rel := math.Abs(corr.Mean()-ind.Mean()) / ind.Mean(); rel > 0.01 {
+		t.Errorf("zero-correlation run diverges from independent: %.2f%%", rel*100)
+	}
+}
+
+func TestCorrelationWidensDistribution(t *testing.T) {
+	lib := cell.Default180nm()
+	d, err := design.New(netlist.C17(lib), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := RunCorrelated(d, 20000, 13, CorrModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := RunCorrelated(d, 20000, 13, CorrModel{GlobalFrac: 0.6, RegionFrac: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared variation cannot average out across a path: the correlated
+	// circuit-delay distribution is strictly wider.
+	if corr.Std() <= ind.Std() {
+		t.Errorf("correlated std %v not wider than independent %v", corr.Std(), ind.Std())
+	}
+	if corr.Percentile(0.99) <= ind.Percentile(0.99) {
+		t.Errorf("correlated p99 %v not above independent %v",
+			corr.Percentile(0.99), ind.Percentile(0.99))
+	}
+}
+
+func TestCorrModelValidation(t *testing.T) {
+	d := chainDesign(t)
+	if _, err := RunCorrelated(d, 10, 1, CorrModel{GlobalFrac: 0.8, RegionFrac: 0.5}); err == nil {
+		t.Error("expected variance-budget error")
+	}
+	if _, err := RunCorrelated(d, 10, 1, CorrModel{GlobalFrac: -0.1}); err == nil {
+		t.Error("expected negative-fraction error")
+	}
+	if _, err := RunCorrelated(d, 0, 1, CorrModel{}); err == nil {
+		t.Error("expected sample-count error")
+	}
+}
+
+func TestCorrelatedDeterministicBySeed(t *testing.T) {
+	d := chainDesign(t)
+	m := CorrModel{GlobalFrac: 0.3, RegionFrac: 0.3, Grid: 2}
+	a, err := RunCorrelated(d, 200, 21, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCorrelated(d, 200, 21, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Delays {
+		if a.Delays[i] != b.Delays[i] {
+			t.Fatal("same seed produced different correlated samples")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/design"
+	"statsize/internal/netlist"
+	"statsize/internal/sta"
+)
+
+func c17Design(t *testing.T) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	d, err := design.New(netlist.C17(lib), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	d := c17Design(t)
+	a, err := Run(d, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(d, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Delays {
+		if a.Delays[i] != b.Delays[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	c, _ := Run(d, 500, 43)
+	same := true
+	for i := range a.Delays {
+		if a.Delays[i] != c.Delays[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestSamplesSortedAndBounded(t *testing.T) {
+	d := c17Design(t)
+	r, err := Run(d, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := sta.Analyze(d).CircuitDelay()
+	sigma := d.Lib.SigmaRatio
+	prev := 0.0
+	for _, v := range r.Delays {
+		if v < prev {
+			t.Fatal("samples not sorted")
+		}
+		prev = v
+	}
+	// Every sampled delay is within the ±3σ truncation band scaled to
+	// path delays: crude bounds of nominal*(1±3σ).
+	if r.Delays[0] < det*(1-3*sigma)-1e-9 {
+		t.Errorf("min sample %v below truncation floor", r.Delays[0])
+	}
+	if r.Delays[len(r.Delays)-1] > det*(1+3*sigma)+1e-9 {
+		t.Errorf("max sample %v above truncation ceiling", r.Delays[len(r.Delays)-1])
+	}
+}
+
+func TestMeanNearNominal(t *testing.T) {
+	// The statistical mean exceeds the nominal circuit delay slightly
+	// (max over random paths) but stays within a few sigma of it.
+	d := c17Design(t)
+	r, err := Run(d, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := sta.Analyze(d).CircuitDelay()
+	if r.Mean() < det*0.97 || r.Mean() > det*1.15 {
+		t.Errorf("MC mean %v implausible vs nominal %v", r.Mean(), det)
+	}
+	if r.Std() <= 0 {
+		t.Error("sample std must be positive")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	r := &Result{Delays: []float64{1, 2, 3, 4, 5}}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.625, 3.5},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	single := &Result{Delays: []float64{7}}
+	if single.Percentile(0.5) != 7 {
+		t.Error("single-sample percentile")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := c17Design(t)
+	if _, err := Run(d, 0, 1); err == nil {
+		t.Error("expected error for zero samples")
+	}
+}

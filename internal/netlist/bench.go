@@ -1,0 +1,220 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"statsize/internal/cell"
+)
+
+// ParseBench reads a netlist in the ISCAS .bench format:
+//
+//	# comment
+//	INPUT(n1)
+//	OUTPUT(n22)
+//	n10 = NAND(n1, n3)
+//
+// Function names are case-insensitive; arity selects the library cell
+// (NAND with two operands becomes NAND2, and so on). Functions wider
+// than the library's widest cell are decomposed into a balanced tree of
+// library cells with generated internal net names, preserving logic
+// function; the decomposition changes the gate count, which matters only
+// when comparing against published graph sizes. The returned netlist is
+// finalized.
+func ParseBench(r io.Reader, name string, lib *cell.Library) (*Netlist, error) {
+	nl := New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseBenchLine(nl, lib, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := nl.Finalize(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func parseBenchLine(nl *Netlist, lib *cell.Library, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT"):
+		arg, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		_, err = nl.AddPI(arg)
+		return err
+	case strings.HasPrefix(upper, "OUTPUT"):
+		arg, err := parenArg(line)
+		if err != nil {
+			return err
+		}
+		_, err = nl.MarkPO(arg)
+		return err
+	}
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+	out := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.Index(rhs, "(")
+	close := strings.LastIndex(rhs, ")")
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	var ins []string
+	for _, tok := range strings.Split(rhs[open+1:close], ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return fmt.Errorf("empty operand in %q", rhs)
+		}
+		ins = append(ins, tok)
+	}
+	return addBenchGate(nl, lib, fn, out, ins)
+}
+
+// benchFamilies maps .bench function names to the library cell of each
+// arity, plus the cells used to decompose wider instances: the reducer
+// combines operands pairwise and capstone applies the function's
+// polarity at the root.
+var benchFamilies = map[string]struct {
+	byArity   map[int]cell.Kind
+	decompose bool
+	reducer   cell.Kind // 2-input cell for balanced decomposition
+	capstone  cell.Kind // root cell preserving polarity (reducer if same)
+}{
+	"NOT":  {byArity: map[int]cell.Kind{1: cell.INV}},
+	"INV":  {byArity: map[int]cell.Kind{1: cell.INV}},
+	"BUF":  {byArity: map[int]cell.Kind{1: cell.BUF}},
+	"BUFF": {byArity: map[int]cell.Kind{1: cell.BUF}},
+	"AND":  {byArity: map[int]cell.Kind{2: cell.AND2, 3: cell.AND3}, decompose: true, reducer: cell.AND2, capstone: cell.AND2},
+	"OR":   {byArity: map[int]cell.Kind{2: cell.OR2, 3: cell.OR3}, decompose: true, reducer: cell.OR2, capstone: cell.OR2},
+	"NAND": {byArity: map[int]cell.Kind{2: cell.NAND2, 3: cell.NAND3, 4: cell.NAND4}, decompose: true, reducer: cell.AND2, capstone: cell.NAND2},
+	"NOR":  {byArity: map[int]cell.Kind{2: cell.NOR2, 3: cell.NOR3, 4: cell.NOR4}, decompose: true, reducer: cell.OR2, capstone: cell.NOR2},
+	"XOR":  {byArity: map[int]cell.Kind{2: cell.XOR2}, decompose: true, reducer: cell.XOR2, capstone: cell.XOR2},
+	"XNOR": {byArity: map[int]cell.Kind{2: cell.XNOR2}, decompose: true, reducer: cell.XOR2, capstone: cell.XNOR2},
+}
+
+func addBenchGate(nl *Netlist, lib *cell.Library, fn, out string, ins []string) error {
+	fam, ok := benchFamilies[fn]
+	if !ok {
+		return fmt.Errorf("unsupported .bench function %q (sequential elements belong to ISCAS'89)", fn)
+	}
+	if k, ok := fam.byArity[len(ins)]; ok {
+		_, err := nl.AddGate(lib, k, out, ins...)
+		return err
+	}
+	if !fam.decompose || len(ins) < 2 {
+		return fmt.Errorf("%s cannot take %d operand(s)", fn, len(ins))
+	}
+	// Balanced decomposition: reduce operands pairwise with the family's
+	// reducer cell, applying the capstone at the root to preserve
+	// polarity (e.g. NAND5 = NAND2(AND2(AND2(a,b),AND2(c,d)), e)).
+	gen := 0
+	fresh := func() string {
+		gen++
+		return fmt.Sprintf("%s__dec%d", out, gen)
+	}
+	level := ins
+	for len(level) > 2 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			n := fresh()
+			if _, err := nl.AddGate(lib, fam.reducer, n, level[i], level[i+1]); err != nil {
+				return err
+			}
+			next = append(next, n)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	_, err := nl.AddGate(lib, fam.capstone, out, level[0], level[1])
+	return err
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// benchFunction returns the .bench spelling for a library cell.
+func benchFunction(k cell.Kind) string {
+	switch k {
+	case cell.INV:
+		return "NOT"
+	case cell.BUF:
+		return "BUFF"
+	case cell.NAND2, cell.NAND3, cell.NAND4:
+		return "NAND"
+	case cell.NOR2, cell.NOR3, cell.NOR4:
+		return "NOR"
+	case cell.AND2, cell.AND3:
+		return "AND"
+	case cell.OR2, cell.OR3:
+		return "OR"
+	case cell.XOR2:
+		return "XOR"
+	case cell.XNOR2:
+		return "XNOR"
+	}
+	return k.String()
+}
+
+// WriteBench emits the netlist in .bench format. Output is deterministic:
+// inputs, outputs, then gates in instantiation order.
+func (nl *Netlist) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", nl.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n", nl.NumPIs(), nl.NumPOs(), nl.NumGates())
+	for _, pi := range nl.pis {
+		fmt.Fprintf(bw, "INPUT(%s)\n", nl.NetName(pi))
+	}
+	for _, po := range nl.pos {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", nl.NetName(po))
+	}
+	for gi := range nl.gates {
+		g := &nl.gates[gi]
+		names := make([]string, len(g.Ins))
+		for i, in := range g.Ins {
+			names[i] = nl.NetName(in)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", nl.NetName(g.Out), benchFunction(g.Kind), strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// SortedNetNames returns all net names in lexical order (testing aid).
+func (nl *Netlist) SortedNetNames() []string {
+	names := make([]string, 0, len(nl.nets))
+	for i := range nl.nets {
+		names = append(names, nl.nets[i].name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,37 @@
+package netlist
+
+import (
+	"strings"
+
+	"statsize/internal/cell"
+)
+
+// C17Bench is the genuine ISCAS'85 c17 benchmark netlist (Brglez &
+// Fujiwara, ISCAS 1985) — the one circuit of the suite small enough to
+// embed verbatim. The larger members are replicated structurally by
+// package circuitgen.
+const C17Bench = `# c17 — ISCAS'85 (Brglez & Fujiwara 1985)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// C17 parses and returns the embedded c17 netlist.
+func C17(lib *cell.Library) *Netlist {
+	nl, err := ParseBench(strings.NewReader(C17Bench), "c17", lib)
+	if err != nil {
+		// The constant is under test; failure is a build defect.
+		panic("netlist: embedded c17 invalid: " + err.Error())
+	}
+	return nl
+}

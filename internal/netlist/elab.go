@@ -1,0 +1,82 @@
+package netlist
+
+import (
+	"fmt"
+
+	"statsize/internal/graph"
+)
+
+// Elab is the elaborated timing graph of a netlist together with the
+// cross-reference tables between circuit objects and graph objects.
+type Elab struct {
+	NL *Netlist
+	G  *graph.Graph
+
+	// NodeOf maps each net to its graph node.
+	NodeOf []graph.NodeID
+	// NetOf maps each graph node back to its net, or NoNet for the
+	// source and sink.
+	NetOf []NetID
+	// EdgeGate and EdgePin map each graph edge to the gate input pin it
+	// represents; EdgeGate is NoGate for source→PI and PO→sink arcs.
+	EdgeGate []GateID
+	EdgePin  []int
+	// GateEdges lists, per gate, the edge of each input pin (index =
+	// pin).
+	GateEdges [][]graph.EdgeID
+}
+
+// Elaborate builds the timing graph. The netlist must be finalized; a
+// combinational cycle surfaces here as a graph build error.
+func (nl *Netlist) Elaborate() (*Elab, error) {
+	if !nl.finalized {
+		return nil, fmt.Errorf("netlist %s: Elaborate before Finalize", nl.Name)
+	}
+	b := graph.NewBuilder()
+	source := b.AddNode()
+	sink := b.AddNode()
+	e := &Elab{
+		NL:        nl,
+		NodeOf:    make([]graph.NodeID, len(nl.nets)),
+		GateEdges: make([][]graph.EdgeID, len(nl.gates)),
+	}
+	for i := range nl.nets {
+		e.NodeOf[i] = b.AddNode()
+	}
+	// Edge annotations accumulate in AddEdge call order.
+	var gates []GateID
+	var pins []int
+	addArc := func(from, to graph.NodeID, g GateID, pin int) {
+		b.AddEdge(from, to)
+		gates = append(gates, g)
+		pins = append(pins, pin)
+	}
+	for _, pi := range nl.pis {
+		addArc(source, e.NodeOf[pi], NoGate, 0)
+	}
+	for gi := range nl.gates {
+		g := &nl.gates[gi]
+		e.GateEdges[gi] = make([]graph.EdgeID, len(g.Ins))
+		for pin, in := range g.Ins {
+			e.GateEdges[gi][pin] = graph.EdgeID(len(gates))
+			addArc(e.NodeOf[in], e.NodeOf[g.Out], g.ID, pin)
+		}
+	}
+	for _, po := range nl.pos {
+		addArc(e.NodeOf[po], sink, NoGate, 0)
+	}
+	g, err := b.Build(source, sink)
+	if err != nil {
+		return nil, fmt.Errorf("netlist %s: %w", nl.Name, err)
+	}
+	e.G = g
+	e.EdgeGate = gates
+	e.EdgePin = pins
+	e.NetOf = make([]NetID, g.NumNodes())
+	e.NetOf[source] = NoNet
+	e.NetOf[sink] = NoNet
+	for netID, node := range e.NodeOf {
+		e.NetOf[node] = NetID(netID)
+	}
+	return e, nil
+}

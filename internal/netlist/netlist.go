@@ -1,0 +1,237 @@
+// Package netlist models combinational gate-level netlists, parses and
+// writes the ISCAS .bench format, and elaborates a netlist into the
+// timing graph of the paper's Definition 1 (nodes = nets, edges = gate
+// pin-to-pin arcs, plus a single source feeding all primary inputs and a
+// single sink fed by all primary outputs).
+package netlist
+
+import (
+	"fmt"
+
+	"statsize/internal/cell"
+)
+
+// NetID identifies a net within one netlist; dense from 0.
+type NetID int32
+
+// GateID identifies a gate instance within one netlist; dense from 0.
+type GateID int32
+
+// NoGate marks the absence of a driving gate (primary inputs).
+const NoGate GateID = -1
+
+// NoNet marks the absence of a net (source/sink graph nodes).
+const NoNet NetID = -1
+
+// PinRef addresses one input pin of one gate.
+type PinRef struct {
+	Gate GateID
+	Pin  int
+}
+
+// Gate is one cell instance.
+type Gate struct {
+	ID   GateID
+	Kind cell.Kind
+	Out  NetID
+	Ins  []NetID
+}
+
+type net struct {
+	name    string
+	driver  GateID
+	isPI    bool
+	isPO    bool
+	readers []PinRef
+}
+
+// Netlist is a combinational gate-level circuit. Construct with New,
+// populate with AddPI/AddGate/MarkPO, then seal with Finalize before
+// elaboration.
+type Netlist struct {
+	Name      string
+	nets      []net
+	byName    map[string]NetID
+	gates     []Gate
+	pis       []NetID
+	pos       []NetID
+	finalized bool
+}
+
+// New returns an empty netlist.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]NetID)}
+}
+
+// netID returns the net with the given name, creating an undriven
+// placeholder on first reference (the .bench format allows any
+// definition order).
+func (nl *Netlist) netID(name string) NetID {
+	if id, ok := nl.byName[name]; ok {
+		return id
+	}
+	id := NetID(len(nl.nets))
+	nl.nets = append(nl.nets, net{name: name, driver: NoGate})
+	nl.byName[name] = id
+	return id
+}
+
+// AddPI declares a primary input net.
+func (nl *Netlist) AddPI(name string) (NetID, error) {
+	if nl.finalized {
+		return 0, fmt.Errorf("netlist %s: AddPI after Finalize", nl.Name)
+	}
+	id := nl.netID(name)
+	n := &nl.nets[id]
+	if n.isPI {
+		return 0, fmt.Errorf("netlist %s: duplicate primary input %q", nl.Name, name)
+	}
+	if n.driver != NoGate {
+		return 0, fmt.Errorf("netlist %s: net %q is both gate-driven and a primary input", nl.Name, name)
+	}
+	n.isPI = true
+	nl.pis = append(nl.pis, id)
+	return id, nil
+}
+
+// MarkPO declares a primary output net (it may be defined before or
+// after the driving gate).
+func (nl *Netlist) MarkPO(name string) (NetID, error) {
+	if nl.finalized {
+		return 0, fmt.Errorf("netlist %s: MarkPO after Finalize", nl.Name)
+	}
+	id := nl.netID(name)
+	n := &nl.nets[id]
+	if n.isPO {
+		return 0, fmt.Errorf("netlist %s: duplicate primary output %q", nl.Name, name)
+	}
+	n.isPO = true
+	nl.pos = append(nl.pos, id)
+	return id, nil
+}
+
+// AddGate instantiates a cell of the given kind driving net out from the
+// named input nets. The input count must match the cell's arity.
+func (nl *Netlist) AddGate(lib *cell.Library, kind cell.Kind, out string, ins ...string) (GateID, error) {
+	if nl.finalized {
+		return 0, fmt.Errorf("netlist %s: AddGate after Finalize", nl.Name)
+	}
+	if want := lib.Spec(kind).NumInputs; len(ins) != want {
+		return 0, fmt.Errorf("netlist %s: %s %q takes %d inputs, got %d", nl.Name, kind, out, want, len(ins))
+	}
+	outID := nl.netID(out)
+	if nl.nets[outID].driver != NoGate {
+		return 0, fmt.Errorf("netlist %s: net %q driven twice", nl.Name, out)
+	}
+	if nl.nets[outID].isPI {
+		return 0, fmt.Errorf("netlist %s: primary input %q cannot be gate-driven", nl.Name, out)
+	}
+	g := Gate{ID: GateID(len(nl.gates)), Kind: kind, Out: outID, Ins: make([]NetID, len(ins))}
+	for i, in := range ins {
+		// netID may grow the nets slice, so the output net is addressed
+		// by index again below rather than through a held pointer.
+		g.Ins[i] = nl.netID(in)
+		if g.Ins[i] == outID {
+			return 0, fmt.Errorf("netlist %s: gate %q uses its own output as input", nl.Name, out)
+		}
+	}
+	nl.nets[outID].driver = g.ID
+	nl.gates = append(nl.gates, g)
+	return g.ID, nil
+}
+
+// Finalize validates the netlist and freezes it: every net must be
+// driven by a gate or be a primary input, and there must be at least one
+// primary input and output. Reader (fanout) lists are computed here.
+func (nl *Netlist) Finalize() error {
+	if nl.finalized {
+		return nil
+	}
+	if len(nl.pis) == 0 {
+		return fmt.Errorf("netlist %s: no primary inputs", nl.Name)
+	}
+	if len(nl.pos) == 0 {
+		return fmt.Errorf("netlist %s: no primary outputs", nl.Name)
+	}
+	for id := range nl.nets {
+		n := &nl.nets[id]
+		if !n.isPI && n.driver == NoGate {
+			return fmt.Errorf("netlist %s: net %q is never driven", nl.Name, n.name)
+		}
+	}
+	for gi := range nl.gates {
+		g := &nl.gates[gi]
+		for pin, in := range g.Ins {
+			nl.nets[in].readers = append(nl.nets[in].readers, PinRef{Gate: g.ID, Pin: pin})
+		}
+	}
+	nl.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has completed.
+func (nl *Netlist) Finalized() bool { return nl.finalized }
+
+// NumNets returns the net count (excluding the graph's source/sink).
+func (nl *Netlist) NumNets() int { return len(nl.nets) }
+
+// NumGates returns the gate count.
+func (nl *Netlist) NumGates() int { return len(nl.gates) }
+
+// NumPIs returns the primary input count.
+func (nl *Netlist) NumPIs() int { return len(nl.pis) }
+
+// NumPOs returns the primary output count.
+func (nl *Netlist) NumPOs() int { return len(nl.pos) }
+
+// PIs returns the primary input nets. Shared slice; do not mutate.
+func (nl *Netlist) PIs() []NetID { return nl.pis }
+
+// POs returns the primary output nets. Shared slice; do not mutate.
+func (nl *Netlist) POs() []NetID { return nl.pos }
+
+// Gate returns gate g. Shared pointer into the netlist; do not mutate.
+func (nl *Netlist) Gate(g GateID) *Gate { return &nl.gates[g] }
+
+// NetName returns the net's name.
+func (nl *Netlist) NetName(n NetID) string { return nl.nets[n].name }
+
+// NetByName resolves a net name.
+func (nl *Netlist) NetByName(name string) (NetID, bool) {
+	id, ok := nl.byName[name]
+	return id, ok
+}
+
+// Driver returns the gate driving net n, or NoGate for primary inputs.
+func (nl *Netlist) Driver(n NetID) GateID { return nl.nets[n].driver }
+
+// Readers returns the gate input pins fed by net n. Shared slice; do not
+// mutate. Finalize must have run.
+func (nl *Netlist) Readers(n NetID) []PinRef { return nl.nets[n].readers }
+
+// IsPI reports whether net n is a primary input.
+func (nl *Netlist) IsPI(n NetID) bool { return nl.nets[n].isPI }
+
+// IsPO reports whether net n is a primary output.
+func (nl *Netlist) IsPO(n NetID) bool { return nl.nets[n].isPO }
+
+// TimingNodeCount returns the node count of the elaborated timing graph:
+// nets plus source and sink. This is the "node" column of the paper's
+// Table 1.
+func (nl *Netlist) TimingNodeCount() int { return len(nl.nets) + 2 }
+
+// TimingEdgeCount returns the edge count of the elaborated timing graph:
+// one edge per gate input pin, plus source→PI and PO→sink arcs. This is
+// the "edge" column of the paper's Table 1.
+func (nl *Netlist) TimingEdgeCount() int {
+	e := len(nl.pis) + len(nl.pos)
+	for i := range nl.gates {
+		e += len(nl.gates[i].Ins)
+	}
+	return e
+}
+
+func (nl *Netlist) String() string {
+	return fmt.Sprintf("Netlist{%s: %d gates, %d nets, %d PI, %d PO}",
+		nl.Name, len(nl.gates), len(nl.nets), len(nl.pis), len(nl.pos))
+}

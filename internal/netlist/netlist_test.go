@@ -1,0 +1,244 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/graph"
+)
+
+var lib = cell.Default180nm()
+
+func TestC17Counts(t *testing.T) {
+	nl := C17(lib)
+	if nl.NumPIs() != 5 || nl.NumPOs() != 2 || nl.NumGates() != 6 {
+		t.Fatalf("c17: %d PI %d PO %d gates, want 5/2/6", nl.NumPIs(), nl.NumPOs(), nl.NumGates())
+	}
+	if nl.NumNets() != 11 {
+		t.Fatalf("c17 nets = %d, want 11", nl.NumNets())
+	}
+	// Timing graph per Definition 1: 11 nets + source + sink = 13 nodes;
+	// 12 gate pins + 5 PI arcs + 2 PO arcs = 19 edges.
+	if nl.TimingNodeCount() != 13 {
+		t.Errorf("timing nodes = %d, want 13", nl.TimingNodeCount())
+	}
+	if nl.TimingEdgeCount() != 19 {
+		t.Errorf("timing edges = %d, want 19", nl.TimingEdgeCount())
+	}
+}
+
+func TestC17Elaborate(t *testing.T) {
+	nl := C17(lib)
+	e, err := nl.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.G.NumNodes() != nl.TimingNodeCount() || e.G.NumEdges() != nl.TimingEdgeCount() {
+		t.Fatalf("graph %v does not match netlist counts %d/%d",
+			e.G, nl.TimingNodeCount(), nl.TimingEdgeCount())
+	}
+	// Net 22 is driven by the NAND(10,16) gate; its node's fanins must be
+	// the nodes of nets 10 and 16.
+	n22, _ := nl.NetByName("22")
+	ins := e.G.In(e.NodeOf[n22])
+	if len(ins) != 2 {
+		t.Fatalf("net 22 has %d fanin arcs, want 2", len(ins))
+	}
+	gotFrom := map[string]bool{}
+	for _, eid := range ins {
+		from := e.G.EdgeAt(eid).From
+		gotFrom[nl.NetName(e.NetOf[from])] = true
+		if e.EdgeGate[eid] != nl.Driver(n22) {
+			t.Errorf("edge into net 22 annotated with gate %d, want driver %d",
+				e.EdgeGate[eid], nl.Driver(n22))
+		}
+	}
+	if !gotFrom["10"] || !gotFrom["16"] {
+		t.Errorf("net 22 fanins %v, want nets 10 and 16", gotFrom)
+	}
+	// GateEdges cross-reference: pin edges must match annotations.
+	for gi := 0; gi < nl.NumGates(); gi++ {
+		for pin, eid := range e.GateEdges[gi] {
+			if e.EdgeGate[eid] != GateID(gi) || e.EdgePin[eid] != pin {
+				t.Errorf("GateEdges[%d][%d] = edge %d annotated (%d,%d)",
+					gi, pin, eid, e.EdgeGate[eid], e.EdgePin[eid])
+			}
+		}
+	}
+	// Levels: source 0, PIs 1, then three NAND stages (10/11 -> 16/19 ->
+	// 22/23) at levels 2-4, sink 5.
+	if e.G.MaxLevel() != 5 {
+		t.Errorf("c17 sink level = %d, want 5", e.G.MaxLevel())
+	}
+}
+
+func TestC17RoundTrip(t *testing.T) {
+	nl := C17(lib)
+	var buf bytes.Buffer
+	if err := nl.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := ParseBench(&buf, "c17rt", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl2.NumGates() != nl.NumGates() || nl2.NumNets() != nl.NumNets() ||
+		nl2.NumPIs() != nl.NumPIs() || nl2.NumPOs() != nl.NumPOs() {
+		t.Fatalf("round trip changed counts: %v vs %v", nl2, nl)
+	}
+	if strings.Join(nl2.SortedNetNames(), ",") != strings.Join(nl.SortedNetNames(), ",") {
+		t.Error("round trip changed net names")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown func":   "INPUT(a)\nOUTPUT(b)\nb = DFF(a)\n",
+		"malformed line": "INPUT(a)\nOUTPUT(b)\nwhatisthis\n",
+		"missing paren":  "INPUT(a\n",
+		"empty operand":  "INPUT(a)\nOUTPUT(b)\nb = NAND(a, )\n",
+		"double driver":  "INPUT(a)\nINPUT(c)\nOUTPUT(b)\nb = NOT(a)\nb = NOT(c)\n",
+		"undriven net":   "INPUT(a)\nOUTPUT(b)\nb = NAND(a, ghost)\n",
+		"drive a PI":     "INPUT(a)\nINPUT(b)\nOUTPUT(b)\nb = NOT(a)\n",
+		"no inputs":      "OUTPUT(b)\n",
+		"no outputs":     "INPUT(a)\n",
+		"self input":     "INPUT(a)\nOUTPUT(b)\nb = NAND(a, b)\n",
+		"dup input":      "INPUT(a)\nINPUT(a)\n",
+		"dup output":     "INPUT(a)\nOUTPUT(b)\nOUTPUT(b)\nb = NOT(a)\n",
+		"bad arity":      "INPUT(a)\nINPUT(b)\nOUTPUT(c)\nc = NOT(a, b)\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseBench(strings.NewReader(src), name, lib); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(z)\nx = NAND(a, y)\ny = NAND(a, x)\nz = NOT(x)\n"
+	nl, err := ParseBench(strings.NewReader(src), "cyc", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Elaborate(); err == nil {
+		t.Fatal("expected cycle error from elaboration")
+	}
+}
+
+func TestWideGateDecomposition(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z)\nz = NAND(a, b, c, d, e)\n"
+	nl, err := ParseBench(strings.NewReader(src), "wide", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAND5 -> two AND2 reducers + one stray + ... + NAND2 capstone.
+	// 5 operands: level1: AND2(a,b), AND2(c,d), e -> 3; level2: AND2(l1,l2), e -> 2;
+	// capstone NAND2 -> total 4 gates.
+	if nl.NumGates() != 4 {
+		t.Fatalf("NAND5 decomposed into %d gates, want 4", nl.NumGates())
+	}
+	// The output net must be driven by a NAND2 (polarity preserved).
+	z, _ := nl.NetByName("z")
+	if k := nl.Gate(nl.Driver(z)).Kind; k != cell.NAND2 {
+		t.Errorf("NAND5 capstone is %s, want NAND2", k)
+	}
+	if _, err := nl.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchCaseInsensitive(t *testing.T) {
+	src := "input(a)\noutput(z)\nz = nand(a, a2)\na2 = not(a)\n"
+	nl, err := ParseBench(strings.NewReader(src), "lc", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumGates() != 2 {
+		t.Fatalf("got %d gates, want 2", nl.NumGates())
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	// Gate uses a net defined later in the file.
+	src := "INPUT(a)\nOUTPUT(z)\nz = NOT(mid)\nmid = NOT(a)\n"
+	nl, err := ParseBench(strings.NewReader(src), "fwd", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadersComputed(t *testing.T) {
+	nl := C17(lib)
+	n11, _ := nl.NetByName("11")
+	rd := nl.Readers(n11)
+	if len(rd) != 2 {
+		t.Fatalf("net 11 has %d readers, want 2", len(rd))
+	}
+	for _, r := range rd {
+		g := nl.Gate(r.Gate)
+		if g.Ins[r.Pin] != n11 {
+			t.Errorf("reader %v does not point back to net 11", r)
+		}
+	}
+}
+
+func TestMutationAfterFinalizeRejected(t *testing.T) {
+	nl := C17(lib)
+	if _, err := nl.AddPI("late"); err == nil {
+		t.Error("AddPI after Finalize should fail")
+	}
+	if _, err := nl.MarkPO("late"); err == nil {
+		t.Error("MarkPO after Finalize should fail")
+	}
+	if _, err := nl.AddGate(lib, cell.INV, "x", "1"); err == nil {
+		t.Error("AddGate after Finalize should fail")
+	}
+}
+
+func TestElaborateRequiresFinalize(t *testing.T) {
+	nl := New("raw")
+	if _, err := nl.AddPI("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Elaborate(); err == nil {
+		t.Fatal("Elaborate before Finalize should fail")
+	}
+}
+
+func TestPOFedByPIDirectly(t *testing.T) {
+	// A PO that is also a PI-driven net via a single buffer, and a PO
+	// that fans out internally as well.
+	src := "INPUT(a)\nOUTPUT(z)\nOUTPUT(y)\nz = BUFF(a)\ny = NOT(z)\n"
+	nl, err := ParseBench(strings.NewReader(src), "po", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nl.Elaborate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net z: one reader (the NOT) plus a PO arc to the sink.
+	z, _ := nl.NetByName("z")
+	outs := e.G.Out(e.NodeOf[z])
+	if len(outs) != 2 {
+		t.Fatalf("net z has %d out arcs, want 2 (reader + sink)", len(outs))
+	}
+	sinkArcs := 0
+	for _, eid := range outs {
+		if e.G.EdgeAt(eid).To == e.G.Sink() {
+			sinkArcs++
+			if e.EdgeGate[eid] != NoGate {
+				t.Error("PO->sink arc must not carry a gate annotation")
+			}
+		}
+	}
+	if sinkArcs != 1 {
+		t.Errorf("net z has %d sink arcs, want 1", sinkArcs)
+	}
+	_ = graph.NodeID(0)
+}

@@ -1,0 +1,141 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"statsize/internal/cell"
+)
+
+// randomNetlist builds a random valid combinational netlist: layered
+// wiring guarantees acyclicity, every dangling net becomes a PO.
+func randomNetlist(r *rand.Rand) (*Netlist, error) {
+	nl := New("fuzz")
+	nPI := 2 + r.Intn(6)
+	var nets []string
+	for i := 0; i < nPI; i++ {
+		name := fmt.Sprintf("in%d", i)
+		if _, err := nl.AddPI(name); err != nil {
+			return nil, err
+		}
+		nets = append(nets, name)
+	}
+	kinds := cell.Kinds()
+	nGates := 1 + r.Intn(25)
+	reads := map[string]int{}
+	for i := 0; i < nGates; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		arity := lib.Spec(k).NumInputs
+		if arity > len(nets) {
+			k = cell.INV
+			arity = 1
+		}
+		// Sample distinct input nets.
+		perm := r.Perm(len(nets))[:arity]
+		ins := make([]string, arity)
+		for j, p := range perm {
+			ins[j] = nets[p]
+			reads[nets[p]]++
+		}
+		out := fmt.Sprintf("g%d", i)
+		if _, err := nl.AddGate(lib, k, out, ins...); err != nil {
+			return nil, err
+		}
+		nets = append(nets, out)
+	}
+	for _, n := range nets {
+		if reads[n] == 0 {
+			if _, err := nl.MarkPO(n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := nl.Finalize(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func TestQuickBenchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl, err := randomNetlist(r)
+		if err != nil {
+			t.Logf("generation failed: %v", err)
+			return false
+		}
+		var buf bytes.Buffer
+		if err := nl.WriteBench(&buf); err != nil {
+			return false
+		}
+		nl2, err := ParseBench(&buf, "rt", lib)
+		if err != nil {
+			t.Logf("reparse failed: %v", err)
+			return false
+		}
+		if nl2.NumGates() != nl.NumGates() || nl2.NumNets() != nl.NumNets() ||
+			nl2.NumPIs() != nl.NumPIs() || nl2.NumPOs() != nl.NumPOs() {
+			return false
+		}
+		// Gate-by-gate structural equality via names.
+		for i := 0; i < nl.NumGates(); i++ {
+			a, b := nl.Gate(GateID(i)), nl2.Gate(GateID(i))
+			if a.Kind != b.Kind || len(a.Ins) != len(b.Ins) {
+				return false
+			}
+			if nl.NetName(a.Out) != nl2.NetName(b.Out) {
+				return false
+			}
+			for p := range a.Ins {
+				if nl.NetName(a.Ins[p]) != nl2.NetName(b.Ins[p]) {
+					return false
+				}
+			}
+		}
+		// And both must elaborate to identical graph sizes.
+		e1, err1 := nl.Elaborate()
+		e2, err2 := nl2.Elaborate()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return e1.G.NumNodes() == e2.G.NumNodes() && e1.G.NumEdges() == e2.G.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickElaborationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl, err := randomNetlist(r)
+		if err != nil {
+			return false
+		}
+		e, err := nl.Elaborate()
+		if err != nil {
+			return false
+		}
+		// Counts follow the closed formulas.
+		if e.G.NumNodes() != nl.TimingNodeCount() || e.G.NumEdges() != nl.TimingEdgeCount() {
+			return false
+		}
+		// Every gate edge annotation round-trips.
+		for gi := 0; gi < nl.NumGates(); gi++ {
+			for pin, eid := range e.GateEdges[gi] {
+				if e.EdgeGate[eid] != GateID(gi) || e.EdgePin[eid] != pin {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package report renders experiment results as fixed-width text tables,
+// CSV, and ASCII line plots — the presentation layer for regenerating
+// the paper's tables and figures on a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table with a title and column
+// headers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowStrings appends a pre-formatted row.
+func (t *Table) AddRowStrings(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV emits the table as CSV (headers first). Cells containing
+// commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named curve for an ASCII plot.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot renders one or more series on a shared-axis ASCII canvas. It is
+// deliberately crude — enough to eyeball the area-delay curves of
+// Figure 10 and the path walls of Figure 1 in a terminal; the CSV
+// emitters carry the exact numbers.
+type Plot struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int
+	series        []Series
+}
+
+// NewPlot creates a plot with a default 72x20 canvas.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// Add appends a series.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+// Render writes the plot.
+func (p *Plot) Render(w io.Writer) error {
+	if p.Width < 8 || p.Height < 4 {
+		return fmt.Errorf("report: canvas %dx%d too small", p.Width, p.Height)
+	}
+	minX, maxX, minY, maxY, any := bounds(p.series)
+	if !any {
+		return fmt.Errorf("report: plot %q has no points", p.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, p.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(p.Width-1))
+			r := p.Height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(p.Height-1))
+			if c >= 0 && c < p.Width && r >= 0 && r < p.Height {
+				grid[r][c] = s.Marker
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title + "\n")
+	}
+	b.WriteString(fmt.Sprintf("%s: %.4g .. %.4g\n", p.YLabel, minY, maxY))
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", p.Width) + "\n")
+	b.WriteString(fmt.Sprintf("%s: %.4g .. %.4g\n", p.XLabel, minX, maxX))
+	for _, s := range p.series {
+		b.WriteString(fmt.Sprintf("  %c %s\n", s.Marker, s.Name))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bounds(series []Series) (minX, maxX, minY, maxY float64, any bool) {
+	for _, s := range series {
+		for i := range s.X {
+			if !any {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				any = true
+				continue
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table 1. Results", "circuit", "nodes", "impr %")
+	tb.AddRow("c432", 214, 10.03)
+	tb.AddRow("c7552", 2202, 6.17)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1. Results", "circuit", "c432", "2202", "10", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Columns align: header row and data rows share the position of the
+	// second column.
+	lines := strings.Split(out, "\n")
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "nodes") != strings.Index(row, "214") {
+		t.Errorf("columns misaligned:\n%s\n%s", hdr, row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRowStrings("x,y", `quote"d`)
+	tb.AddRow(1, 2)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n\"x,y\",\"quote\"\"d\"\n1,2\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := NewPlot("Figure 10", "delay (ns)", "total gate size")
+	p.Add(Series{Name: "statistical", Marker: 'o', X: []float64{1, 2, 3}, Y: []float64{9, 8.5, 8}})
+	p.Add(Series{Name: "deterministic", Marker: 'x', X: []float64{1.5, 2.5, 3.5}, Y: []float64{9, 8.6, 8.2}})
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 10", "delay (ns)", "statistical", "o", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q", want)
+		}
+	}
+	// Corner points must land on the canvas: leftmost x at min, top y at max.
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("markers missing from canvas")
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	p := NewPlot("flat", "x", "y")
+	p.Add(Series{Name: "s", Marker: '*', X: []float64{1, 1}, Y: []float64{2, 2}})
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	empty := NewPlot("none", "x", "y")
+	if err := empty.Render(&b); err == nil {
+		t.Error("empty plot should error")
+	}
+	tiny := NewPlot("tiny", "x", "y")
+	tiny.Width, tiny.Height = 2, 2
+	tiny.Add(Series{Name: "s", Marker: '*', X: []float64{1}, Y: []float64{2}})
+	if err := tiny.Render(&b); err == nil {
+		t.Error("undersized canvas should error")
+	}
+}

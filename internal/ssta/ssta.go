@@ -1,0 +1,195 @@
+// Package ssta implements block-based statistical static timing analysis
+// with discretized arrival-time distributions, following the bound
+// computation of Agarwal, Blaauw, Zolotov & Vrudhula (DAC'03) that the
+// paper builds on: arrival CDFs propagate through a single topological
+// pass, convolving with pin-to-pin delay PDFs along edges and combining
+// fanins with the independence maximum. Reconvergent correlations are
+// ignored, which makes the computed sink CDF a conservative upper bound
+// on the exact circuit-delay CDF; package montecarlo quantifies the gap
+// (Figure 10 of the paper shows it is small, <1% at the 99th
+// percentile).
+//
+// The analysis object also provides the two building blocks the
+// accelerated optimizer needs: cached per-edge delay distributions, and
+// arrival recomputation with overlays (perturbed delays and arrivals
+// supplied by the caller without mutating the base analysis).
+package ssta
+
+import (
+	"fmt"
+
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+)
+
+// Analysis is a completed SSTA pass over a design at fixed grid
+// resolution. Arrival distributions are indexed by graph node.
+type Analysis struct {
+	D  *design.Design
+	DT float64
+
+	arrival []*dist.Dist
+	edge    []*dist.Dist // cached delay dists; nil for source/sink arcs
+}
+
+// Analyze runs a full statistical timing analysis on grid dt.
+func Analyze(d *design.Design, dt float64) (*Analysis, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("ssta: non-positive dt %v", dt)
+	}
+	g := d.E.G
+	a := &Analysis{
+		D:       d,
+		DT:      dt,
+		arrival: make([]*dist.Dist, g.NumNodes()),
+		edge:    make([]*dist.Dist, g.NumEdges()),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		dd, err := d.EdgeDelayDist(dt, graph.EdgeID(e))
+		if err != nil {
+			return nil, err
+		}
+		a.edge[e] = dd
+	}
+	for _, n := range g.Topo() {
+		if n == g.Source() {
+			a.arrival[n] = dist.Point(dt, 0)
+			continue
+		}
+		a.arrival[n] = a.computeArrival(n, nil, nil)
+	}
+	return a, nil
+}
+
+// computeArrival evaluates one node's arrival CDF from its fanins. The
+// overlay callbacks, when non-nil, substitute perturbed arrivals and
+// perturbed edge delays; returning nil from an overlay falls back to the
+// base analysis. This is the single implementation of the SSTA max/conv
+// step shared by the full pass, incremental recompute, and the
+// optimizer's perturbation-front propagation.
+func (a *Analysis) computeArrival(
+	n graph.NodeID,
+	arrOverlay func(graph.NodeID) *dist.Dist,
+	delayOverlay func(graph.EdgeID) *dist.Dist,
+) *dist.Dist {
+	g := a.D.E.G
+	var acc *dist.Dist
+	for _, eid := range g.In(n) {
+		e := g.EdgeAt(eid)
+		from := a.arrival[e.From]
+		if arrOverlay != nil {
+			if o := arrOverlay(e.From); o != nil {
+				from = o
+			}
+		}
+		delay := a.edge[eid]
+		if delayOverlay != nil {
+			if o := delayOverlay(eid); o != nil {
+				delay = o
+			}
+		}
+		term := from
+		if delay != nil {
+			term = dist.Convolve(from, delay)
+		}
+		if acc == nil {
+			acc = term
+		} else {
+			acc = dist.MaxIndep(acc, term)
+		}
+	}
+	return acc
+}
+
+// ArrivalWithOverlay exposes computeArrival for the optimizer's
+// perturbation fronts.
+func (a *Analysis) ArrivalWithOverlay(
+	n graph.NodeID,
+	arrOverlay func(graph.NodeID) *dist.Dist,
+	delayOverlay func(graph.EdgeID) *dist.Dist,
+) *dist.Dist {
+	return a.computeArrival(n, arrOverlay, delayOverlay)
+}
+
+// Arrival returns the arrival distribution at a node.
+func (a *Analysis) Arrival(n graph.NodeID) *dist.Dist { return a.arrival[n] }
+
+// EdgeDelay returns the cached delay distribution of an edge (nil for
+// the zero-delay source/sink arcs).
+func (a *Analysis) EdgeDelay(e graph.EdgeID) *dist.Dist { return a.edge[e] }
+
+// SinkDist returns the circuit-delay distribution (the DAC'03 upper
+// bound on the exact CDF).
+func (a *Analysis) SinkDist() *dist.Dist { return a.arrival[a.D.E.G.Sink()] }
+
+// Percentile returns the p-percentile of the circuit-delay distribution
+// — the paper's optimization objective at p = 0.99.
+func (a *Analysis) Percentile(p float64) float64 { return a.SinkDist().Percentile(p) }
+
+// RefreshGate recomputes the cached delay distributions of every pin
+// edge of the given gate (after its width or output load changed).
+func (a *Analysis) RefreshGate(gid netlist.GateID) error {
+	for _, eid := range a.D.E.GateEdges[gid] {
+		dd, err := a.D.EdgeDelayDist(a.DT, eid)
+		if err != nil {
+			return err
+		}
+		a.edge[eid] = dd
+	}
+	return nil
+}
+
+// AffectedGates returns the set of gates whose pin-to-pin delays change
+// when gate x is resized: x itself (its drive changed) and the driver of
+// each of x's input nets (their output loads changed). This is exactly
+// the initial perturbation scope of the paper's Initialize procedure
+// (Figure 7, step 1).
+func AffectedGates(d *design.Design, x netlist.GateID) []netlist.GateID {
+	out := []netlist.GateID{x}
+	seen := map[netlist.GateID]bool{x: true}
+	for _, in := range d.NL.Gate(x).Ins {
+		if drv := d.NL.Driver(in); drv != netlist.NoGate && !seen[drv] {
+			seen[drv] = true
+			out = append(out, drv)
+		}
+	}
+	return out
+}
+
+// ResizeCommit makes the analysis consistent after gate x has been
+// resized in the design: refreshes the affected delay caches and
+// recomputes arrivals downstream, pruning nodes whose arrival is
+// unchanged. Returns the number of nodes recomputed (a measure of the
+// incremental saving versus a full pass).
+func (a *Analysis) ResizeCommit(x netlist.GateID) (int, error) {
+	g := a.D.E.G
+	affected := AffectedGates(a.D, x)
+	for _, gid := range affected {
+		if err := a.RefreshGate(gid); err != nil {
+			return 0, err
+		}
+	}
+	// Seed the worklist with the output nodes of all affected gates.
+	dirty := make(map[graph.NodeID]bool)
+	for _, gid := range affected {
+		dirty[a.D.E.NodeOf[a.D.NL.Gate(gid).Out]] = true
+	}
+	recomputed := 0
+	for _, n := range g.Topo() {
+		if !dirty[n] {
+			continue
+		}
+		next := a.computeArrival(n, nil, nil)
+		recomputed++
+		if dist.ApproxEqual(next, a.arrival[n], 0) {
+			continue // perturbation died out on this branch
+		}
+		a.arrival[n] = next
+		for _, eid := range g.Out(n) {
+			dirty[g.EdgeAt(eid).To] = true
+		}
+	}
+	return recomputed, nil
+}

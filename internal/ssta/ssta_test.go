@@ -1,0 +1,272 @@
+package ssta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/graph"
+	"statsize/internal/montecarlo"
+	"statsize/internal/netlist"
+	"statsize/internal/sta"
+)
+
+func newDesign(t *testing.T, name string) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	var nl *netlist.Netlist
+	if name == "c17" {
+		nl = netlist.C17(lib)
+	} else {
+		sp, ok := circuitgen.ByName(name)
+		if !ok {
+			t.Fatalf("unknown circuit %q", name)
+		}
+		var err error
+		nl, err = circuitgen.Generate(lib, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func analyze(t *testing.T, d *design.Design, bins int) *Analysis {
+	t.Helper()
+	a, err := Analyze(d, d.SuggestDT(bins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDegenerateSigmaMatchesSTA(t *testing.T) {
+	lib := cell.Default180nm()
+	lib.SigmaRatio = 0 // point-mass delays
+	nl := netlist.C17(lib)
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := sta.Analyze(d).CircuitDelay()
+	a, err := Analyze(d, det/2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point masses smear by up to a bin per convolution; with 2000 bins
+	// over the circuit delay and ~5 levels the mean stays within a few
+	// bins of the deterministic delay.
+	if diff := math.Abs(a.SinkDist().Mean() - det); diff > 5*a.DT {
+		t.Errorf("degenerate SSTA mean %v vs STA %v (diff %v)", a.SinkDist().Mean(), det, diff)
+	}
+	if diff := math.Abs(a.Percentile(0.5) - det); diff > 10*a.DT {
+		t.Errorf("degenerate SSTA median %v vs STA %v", a.Percentile(0.5), det)
+	}
+}
+
+func TestSinkDominatesDeterministicLowerBound(t *testing.T) {
+	// With symmetric truncated-Gaussian edge delays, the statistical
+	// circuit delay mean exceeds the nominal deterministic delay (max of
+	// random variables is super-additive) and the sink spread is positive.
+	d := newDesign(t, "c432")
+	det := sta.Analyze(d).CircuitDelay()
+	a := analyze(t, d, 600)
+	if a.SinkDist().Mean() < det*0.98 {
+		t.Errorf("statistical mean %v below nominal delay %v", a.SinkDist().Mean(), det)
+	}
+	if a.Percentile(0.99) <= a.Percentile(0.5) {
+		t.Error("99th percentile must exceed median")
+	}
+}
+
+// buildChain returns a reconvergence-free chain of inverters: SSTA is
+// exact on trees, so Monte Carlo must agree tightly.
+func buildChain(t *testing.T, n int) *design.Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	var b strings.Builder
+	b.WriteString("INPUT(a)\nOUTPUT(z)\n")
+	prev := "a"
+	for i := 0; i < n; i++ {
+		name := "z"
+		if i < n-1 {
+			name = "n" + string(rune('a'+i))
+		}
+		b.WriteString(name + " = NOT(" + prev + ")\n")
+		prev = name
+	}
+	nl, err := netlist.ParseBench(strings.NewReader(b.String()), "chain", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestChainMatchesMonteCarlo(t *testing.T) {
+	d := buildChain(t, 12)
+	a := analyze(t, d, 1500)
+	mc, err := montecarlo.Run(d, 40000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := a.Percentile(p), mc.Percentile(p)
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Errorf("chain p%v: SSTA %v vs MC %v (%.2f%%)", p, got, want, rel*100)
+		}
+	}
+	if rel := math.Abs(a.SinkDist().Mean()-mc.Mean()) / mc.Mean(); rel > 0.01 {
+		t.Errorf("chain mean: SSTA %v vs MC %v", a.SinkDist().Mean(), mc.Mean())
+	}
+}
+
+func TestBoundIsConservativeOnReconvergentCircuit(t *testing.T) {
+	// On reconvergent circuits the independence assumption yields an
+	// upper bound on the delay CDF: SSTA percentiles sit at or above the
+	// exact (Monte Carlo) ones, up to sampling noise.
+	d := newDesign(t, "c432")
+	a := analyze(t, d, 600)
+	mc, err := montecarlo.Run(d, 20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := a.Percentile(p), mc.Percentile(p)
+		if got < want*(1-0.005) {
+			t.Errorf("p%v: SSTA bound %v below MC %v", p, got, want)
+		}
+		// Section 4 of the paper: the bound is tight (about 1% at p99).
+		if got > want*1.05 {
+			t.Errorf("p%v: SSTA bound %v too loose vs MC %v", p, got, want)
+		}
+	}
+}
+
+func TestResizeCommitMatchesFullReanalysis(t *testing.T) {
+	d := newDesign(t, "c432")
+	a := analyze(t, d, 400)
+	// Resize a handful of gates spread across the circuit.
+	for _, gid := range []netlist.GateID{0, 5, 17, 42, 99} {
+		d.SetWidth(gid, d.Width(gid)+d.Lib.DeltaW)
+		n, err := a.ResizeCommit(gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("gate %d: nothing recomputed", gid)
+		}
+		full, err := Analyze(d, a.DT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.E.G
+		for node := 0; node < g.NumNodes(); node++ {
+			if !distEqual(a.arrival[node], full.arrival[node]) {
+				t.Fatalf("gate %d: arrival at node %d diverged after incremental commit", gid, node)
+			}
+		}
+		if n >= g.NumNodes() {
+			t.Errorf("gate %d: incremental recompute touched every node", gid)
+		}
+	}
+}
+
+func distEqual(a, b interface {
+	Percentile(float64) float64
+}) bool {
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if math.Abs(a.Percentile(p)-b.Percentile(p)) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOverlayFallsBackToBase(t *testing.T) {
+	// Nil-returning overlays must reproduce the base analysis exactly.
+	d := newDesign(t, "c17")
+	a := analyze(t, d, 800)
+	g := d.E.G
+	arrNil := func(graph.NodeID) *dist.Dist { return nil }
+	delayNil := func(graph.EdgeID) *dist.Dist { return nil }
+	for _, n := range g.Topo() {
+		if n == g.Source() {
+			continue
+		}
+		re := a.ArrivalWithOverlay(n, arrNil, delayNil)
+		if !dist.ApproxEqual(re, a.Arrival(n), 0) {
+			t.Fatalf("overlay recompute differs from base at node %d", n)
+		}
+	}
+}
+
+func TestOverlaySubstitutesPerturbedDelay(t *testing.T) {
+	// Substituting a faster delay on one edge must shift that node's
+	// arrival earlier (or leave it unchanged if another fanin dominates).
+	d := newDesign(t, "c17")
+	a := analyze(t, d, 800)
+	g := d.E.G
+	n22, _ := d.NL.NetByName("22")
+	node := d.E.NodeOf[n22]
+	eid := g.In(node)[0]
+	faster := a.EdgeDelay(eid).ShiftBins(-5)
+	perturbed := a.ArrivalWithOverlay(node, nil, func(e graph.EdgeID) *dist.Dist {
+		if e == eid {
+			return faster
+		}
+		return nil
+	})
+	gap := dist.MaxPercentileGap(a.Arrival(node), perturbed)
+	if gap < 0 || gap > 5*a.DT+1e-9 {
+		t.Errorf("perturbed arrival gap %v outside [0, 5 bins]", gap)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	d := newDesign(t, "c17")
+	if _, err := Analyze(d, 0); err == nil {
+		t.Error("expected error for dt=0")
+	}
+	if _, err := Analyze(d, -1); err == nil {
+		t.Error("expected error for negative dt")
+	}
+}
+
+func TestAffectedGates(t *testing.T) {
+	d := newDesign(t, "c17")
+	// Gate driving net 22 = NAND(10, 16): affected set is itself plus
+	// the drivers of nets 10 and 16.
+	n22, _ := d.NL.NetByName("22")
+	x := d.NL.Driver(n22)
+	got := AffectedGates(d, x)
+	want := map[netlist.GateID]bool{x: true}
+	for _, in := range d.NL.Gate(x).Ins {
+		want[d.NL.Driver(in)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("affected gates %v, want %d entries", got, len(want))
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected affected gate %d", g)
+		}
+	}
+	// A gate fed directly by PIs is affected alone.
+	n10, _ := d.NL.NetByName("10")
+	solo := AffectedGates(d, d.NL.Driver(n10))
+	if len(solo) != 1 {
+		t.Errorf("PI-fed gate affected set %v, want just itself", solo)
+	}
+}

@@ -1,0 +1,86 @@
+package sta
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"statsize/internal/graph"
+)
+
+func TestTopPathsOrderedAndValid(t *testing.T) {
+	d := genDesign(t, "c432")
+	r := Analyze(d)
+	const k = 50
+	paths := r.TopPaths(k)
+	if len(paths) != k {
+		t.Fatalf("got %d paths, want %d", len(paths), k)
+	}
+	g := d.E.G
+	prev := math.Inf(1)
+	for pi, p := range paths {
+		if p.Delay > prev+1e-12 {
+			t.Fatalf("path %d out of order: %v after %v", pi, p.Delay, prev)
+		}
+		prev = p.Delay
+		// Validate connectivity and delay.
+		if g.EdgeAt(p.Edges[0]).From != g.Source() || g.EdgeAt(p.Edges[len(p.Edges)-1]).To != g.Sink() {
+			t.Fatal("path does not span source to sink")
+		}
+		sum := 0.0
+		for i, eid := range p.Edges {
+			if i > 0 && g.EdgeAt(p.Edges[i-1]).To != g.EdgeAt(eid).From {
+				t.Fatal("path edges do not chain")
+			}
+			sum += d.EdgeNominalDelay(eid)
+		}
+		if math.Abs(sum-p.Delay) > 1e-9 {
+			t.Fatalf("path delay %v, edges sum to %v", p.Delay, sum)
+		}
+	}
+	// The first path must be the critical path.
+	if math.Abs(paths[0].Delay-r.CircuitDelay()) > 1e-9 {
+		t.Errorf("top path delay %v != circuit delay %v", paths[0].Delay, r.CircuitDelay())
+	}
+}
+
+func TestTopPathsMatchesEnumeration(t *testing.T) {
+	d := c17Design(t)
+	r := Analyze(d)
+	all := enumeratePaths(d)
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	got := r.TopPaths(len(all) + 5)
+	if len(got) != len(all) {
+		t.Fatalf("enumerated %d paths, TopPaths returned %d", len(all), len(got))
+	}
+	for i := range all {
+		if math.Abs(got[i].Delay-all[i]) > 1e-9 {
+			t.Fatalf("rank %d: %v vs enumeration %v", i, got[i].Delay, all[i])
+		}
+	}
+	// Paths must be distinct.
+	seen := map[string]bool{}
+	for _, p := range got {
+		key := ""
+		for _, e := range p.Edges {
+			key += string(rune(e)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate path emitted")
+		}
+		seen[key] = true
+	}
+}
+
+func TestTopPathsZeroAndOne(t *testing.T) {
+	d := c17Design(t)
+	r := Analyze(d)
+	if r.TopPaths(0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	one := r.TopPaths(1)
+	if len(one) != 1 {
+		t.Fatal("k=1 should return exactly one path")
+	}
+	_ = graph.EdgeID(0)
+}

@@ -1,0 +1,241 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/design"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+)
+
+var lib = cell.Default180nm()
+
+func c17Design(t *testing.T) *design.Design {
+	t.Helper()
+	d, err := design.New(netlist.C17(lib), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func genDesign(t *testing.T, name string) *design.Design {
+	t.Helper()
+	sp, ok := circuitgen.ByName(name)
+	if !ok {
+		t.Fatalf("unknown circuit %s", name)
+	}
+	nl, err := circuitgen.Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestArrivalHandComputed(t *testing.T) {
+	d := c17Design(t)
+	r := Analyze(d)
+	g := d.E.G
+	// Arrival at each node must equal max over fanins of arrival+delay.
+	for _, n := range g.Topo() {
+		if n == g.Source() {
+			if r.Arrival[n] != 0 {
+				t.Fatal("source arrival must be 0")
+			}
+			continue
+		}
+		want := 0.0
+		for _, eid := range g.In(n) {
+			e := g.EdgeAt(eid)
+			if v := r.Arrival[e.From] + d.EdgeNominalDelay(eid); v > want {
+				want = v
+			}
+		}
+		if math.Abs(r.Arrival[n]-want) > 1e-12 {
+			t.Fatalf("arrival(%d) = %v, want %v", n, r.Arrival[n], want)
+		}
+	}
+	if r.CircuitDelay() <= 0 {
+		t.Fatal("circuit delay must be positive")
+	}
+}
+
+func TestSlackNonNegativeAndZeroOnCriticalPath(t *testing.T) {
+	d := genDesign(t, "c432")
+	r := Analyze(d)
+	g := d.E.G
+	for n := 0; n < g.NumNodes(); n++ {
+		if s := r.Slack(graph.NodeID(n)); s < -1e-9 {
+			t.Fatalf("negative slack %v at node %d", s, n)
+		}
+	}
+	for _, eid := range r.CriticalPath() {
+		e := g.EdgeAt(eid)
+		if s := r.Slack(e.From); s > 1e-9 {
+			t.Fatalf("critical path node %d has slack %v", e.From, s)
+		}
+		if s := r.Slack(e.To); s > 1e-9 {
+			t.Fatalf("critical path node %d has slack %v", e.To, s)
+		}
+	}
+}
+
+func TestCriticalPathConnectsSourceToSink(t *testing.T) {
+	d := genDesign(t, "c880")
+	r := Analyze(d)
+	g := d.E.G
+	path := r.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	if g.EdgeAt(path[0]).From != g.Source() {
+		t.Error("critical path must start at source")
+	}
+	if g.EdgeAt(path[len(path)-1]).To != g.Sink() {
+		t.Error("critical path must end at sink")
+	}
+	sum := 0.0
+	for i, eid := range path {
+		if i > 0 && g.EdgeAt(path[i-1]).To != g.EdgeAt(eid).From {
+			t.Fatal("critical path edges do not chain")
+		}
+		sum += d.EdgeNominalDelay(eid)
+	}
+	if math.Abs(sum-r.CircuitDelay()) > 1e-9 {
+		t.Errorf("critical path delay %v != circuit delay %v", sum, r.CircuitDelay())
+	}
+}
+
+func TestCriticalGatesAreOnPath(t *testing.T) {
+	d := genDesign(t, "c432")
+	r := Analyze(d)
+	gates := r.CriticalGates()
+	if len(gates) == 0 {
+		t.Fatal("no critical gates")
+	}
+	seen := map[netlist.GateID]bool{}
+	for _, g := range gates {
+		if seen[g] {
+			t.Fatal("duplicate gate in critical gate list")
+		}
+		seen[g] = true
+	}
+}
+
+func TestUpsizingCriticalGateReducesDelay(t *testing.T) {
+	d := genDesign(t, "c432")
+	r := Analyze(d)
+	before := r.CircuitDelay()
+	// Upsizing *some* critical gate must reduce the circuit delay; try
+	// them in order (a gate whose fanin is also critical may not help).
+	improved := false
+	for _, gid := range r.CriticalGates() {
+		w := d.Width(gid)
+		d.SetWidth(gid, w+lib.DeltaW)
+		if Analyze(d).CircuitDelay() < before-1e-12 {
+			improved = true
+			d.SetWidth(gid, w)
+			break
+		}
+		d.SetWidth(gid, w)
+	}
+	if !improved {
+		t.Error("no critical gate improved the circuit delay when upsized")
+	}
+}
+
+func TestAnalyzeTracksResizes(t *testing.T) {
+	d := genDesign(t, "c432")
+	before := Analyze(d).CircuitDelay()
+	// Upsize every gate: delays drop except loading effects; circuit
+	// delay must drop for a uniform upsizing (drive doubles, loads
+	// double, intrinsic unchanged... EQ1 keeps effort term constant but
+	// PO/wire loads are fixed, so delay decreases).
+	for g := 0; g < d.NL.NumGates(); g++ {
+		d.SetWidth(netlist.GateID(g), 2.0)
+	}
+	after := Analyze(d).CircuitDelay()
+	if after >= before {
+		t.Errorf("uniform 2x upsizing did not reduce delay: %v -> %v", before, after)
+	}
+}
+
+// enumeratePaths walks every source-to-sink path, returning delays.
+func enumeratePaths(d *design.Design) []float64 {
+	g := d.E.G
+	var out []float64
+	var walk func(n graph.NodeID, acc float64)
+	walk = func(n graph.NodeID, acc float64) {
+		if n == g.Sink() {
+			out = append(out, acc)
+			return
+		}
+		for _, eid := range g.Out(n) {
+			walk(g.EdgeAt(eid).To, acc+d.EdgeNominalDelay(eid))
+		}
+	}
+	walk(g.Source(), 0)
+	return out
+}
+
+func TestPathHistogramMatchesEnumeration(t *testing.T) {
+	d := c17Design(t)
+	h := PathHistogram(d, 0.001)
+	paths := enumeratePaths(d)
+	if math.Abs(h.NumPaths()-float64(len(paths))) > 1e-9 {
+		t.Fatalf("histogram has %v paths, enumeration %d", h.NumPaths(), len(paths))
+	}
+	// Every enumerated delay must land within quantization distance of an
+	// occupied bin: compare sorted max against histogram max bin.
+	maxDelay := 0.0
+	for _, p := range paths {
+		if p > maxDelay {
+			maxDelay = p
+		}
+	}
+	if math.Abs(h.MaxBinDelay()-maxDelay) > 0.001*float64(d.E.G.MaxLevel()+1) {
+		t.Errorf("histogram max %v vs enumerated max %v", h.MaxBinDelay(), maxDelay)
+	}
+}
+
+func TestPathHistogramSmallSynthetic(t *testing.T) {
+	sp := circuitgen.Spec{Name: "hist", Nodes: 40, Edges: 72, PIs: 6, POs: 4, Depth: 6, Seed: 5}
+	nl, err := circuitgen.Generate(lib, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.New(nl, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := PathHistogram(d, 0.002)
+	paths := enumeratePaths(d)
+	if math.Abs(h.NumPaths()-float64(len(paths))) > 1e-6 {
+		t.Fatalf("histogram %v paths, enumeration %d", h.NumPaths(), len(paths))
+	}
+	// CountAtLeast at zero covers everything; above max covers nothing.
+	if math.Abs(h.CountAtLeast(0)-h.NumPaths()) > 1e-9 {
+		t.Error("CountAtLeast(0) must equal total")
+	}
+	if h.CountAtLeast(h.MaxBinDelay()+1) != 0 {
+		t.Error("CountAtLeast beyond max must be 0")
+	}
+}
+
+func TestPathHistogramLargeCircuitRuns(t *testing.T) {
+	d := genDesign(t, "c3540")
+	h := PathHistogram(d, Analyze(d).CircuitDelay()/200)
+	if h.NumPaths() < float64(d.NL.NumGates()) {
+		t.Errorf("c3540 path count %v implausibly small", h.NumPaths())
+	}
+	if math.IsInf(h.NumPaths(), 0) || math.IsNaN(h.NumPaths()) {
+		t.Error("path count overflowed")
+	}
+}

@@ -1,0 +1,217 @@
+// Package statsize is a statistical-timing-driven gate sizing library —
+// a from-scratch reproduction of Agarwal, Chopra & Blaauw, "Statistical
+// Timing Based Optimization using Gate Sizing" (DATE 2005).
+//
+// The library bundles everything the paper's flow needs: a gate-level
+// netlist model with an ISCAS .bench parser, structural replicas of the
+// ISCAS'85 benchmark suite, a logical-effort delay model with intra-die
+// variation (truncated Gaussians, σ = 10% of nominal), block-based SSTA
+// over discretized arrival-time distributions, Monte Carlo validation,
+// and three gate sizers: a deterministic critical-path baseline, an
+// exact brute-force statistical optimizer, and the paper's accelerated
+// optimizer whose perturbation-bound pruning delivers identical results
+// at a fraction of the cost.
+//
+// Quick start:
+//
+//	d, _ := statsize.Benchmark("c432")
+//	res, _ := statsize.OptimizeAccelerated(d, statsize.Config{MaxIterations: 100})
+//	fmt.Printf("p99 %.3f -> %.3f ns (+%.1f%% area)\n",
+//		res.InitialObjective, res.FinalObjective, res.AreaIncrease())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure.
+package statsize
+
+import (
+	"io"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/core"
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/gauss"
+	"statsize/internal/montecarlo"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+	"statsize/internal/sta"
+)
+
+// Re-exported core types. A Design is a netlist bound to a cell library
+// with mutable gate widths; Config and Result parameterize and summarize
+// optimization runs.
+type (
+	// Design is a sized circuit ready for analysis and optimization.
+	Design = design.Design
+	// Library holds cell timing parameters and the sizing policy.
+	Library = cell.Library
+	// Netlist is a combinational gate-level circuit.
+	Netlist = netlist.Netlist
+	// Config controls an optimization run; its zero value follows the
+	// paper's protocol (99-percentile objective, Δw steps, pruning on).
+	Config = core.Config
+	// Result summarizes an optimization run.
+	Result = core.Result
+	// IterRecord is one sizing iteration of a Result.
+	IterRecord = core.IterRecord
+	// Objective is the scalar the optimizers minimize.
+	Objective = core.Objective
+	// Percentile is the p-quantile objective (the paper uses 0.99).
+	Percentile = core.Percentile
+	// Mean is the expected-delay objective.
+	Mean = core.Mean
+	// Dist is a discretized probability distribution on a uniform grid.
+	Dist = dist.Dist
+	// Analysis is a completed SSTA pass.
+	Analysis = ssta.Analysis
+	// STAResult is a completed deterministic timing analysis.
+	STAResult = sta.Result
+	// PathHistogramResult counts source-to-sink paths by nominal delay.
+	PathHistogramResult = sta.Histogram
+	// MCResult holds Monte Carlo circuit-delay samples.
+	MCResult = montecarlo.Result
+	// CircuitSpec describes a synthetic benchmark circuit to generate.
+	CircuitSpec = circuitgen.Spec
+	// GateID identifies a gate instance within a netlist.
+	GateID = netlist.GateID
+	// NetID identifies a net within a netlist.
+	NetID = netlist.NetID
+)
+
+// DefaultLibrary returns the synthetic 180nm-style library used by all
+// experiments (EQ 1 constants, σ=10% with 3σ truncation, w ∈ [1,32],
+// Δw = 0.5).
+func DefaultLibrary() *Library { return cell.Default180nm() }
+
+// Benchmark builds a minimum-sized design for a named benchmark: "c17"
+// is the genuine embedded ISCAS'85 netlist; c432..c7552 are structural
+// replicas matching the paper's Table 1 node/edge counts exactly.
+func Benchmark(name string) (*Design, error) {
+	lib := cell.Default180nm()
+	if name == "c17" {
+		return design.New(netlist.C17(lib), lib)
+	}
+	sp, ok := circuitgen.ByName(name)
+	if !ok {
+		return nil, &UnknownCircuitError{Name: name}
+	}
+	nl, err := circuitgen.Generate(lib, sp)
+	if err != nil {
+		return nil, err
+	}
+	return design.New(nl, lib)
+}
+
+// BenchmarkNames lists the replica suite in Table 1 order (excluding the
+// embedded "c17").
+func BenchmarkNames() []string { return circuitgen.Names() }
+
+// UnknownCircuitError reports a benchmark name outside the suite.
+type UnknownCircuitError struct{ Name string }
+
+func (e *UnknownCircuitError) Error() string {
+	return "statsize: unknown benchmark circuit " + e.Name
+}
+
+// GenerateCircuit builds a design from a custom synthetic circuit spec.
+func GenerateCircuit(sp CircuitSpec) (*Design, error) {
+	lib := cell.Default180nm()
+	nl, err := circuitgen.Generate(lib, sp)
+	if err != nil {
+		return nil, err
+	}
+	return design.New(nl, lib)
+}
+
+// LoadBench parses an ISCAS .bench netlist and returns a minimum-sized
+// design over the default library.
+func LoadBench(r io.Reader, name string) (*Design, error) {
+	lib := cell.Default180nm()
+	nl, err := netlist.ParseBench(r, name, lib)
+	if err != nil {
+		return nil, err
+	}
+	return design.New(nl, lib)
+}
+
+// NewDesign binds an existing netlist to a library at minimum widths.
+func NewDesign(nl *Netlist, lib *Library) (*Design, error) {
+	return design.New(nl, lib)
+}
+
+// AnalyzeSTA runs deterministic static timing analysis.
+func AnalyzeSTA(d *Design) *STAResult { return sta.Analyze(d) }
+
+// AnalyzeSSTA runs statistical static timing analysis with the given
+// grid resolution (bins across the estimated circuit delay; 600 is the
+// experiments' default).
+func AnalyzeSSTA(d *Design, bins int) (*Analysis, error) {
+	return ssta.Analyze(d, d.SuggestDT(bins))
+}
+
+// MonteCarlo samples the exact circuit-delay distribution.
+func MonteCarlo(d *Design, samples int, seed int64) (*MCResult, error) {
+	return montecarlo.Run(d, samples, seed)
+}
+
+// PathHistogram computes the exact path-count-versus-delay histogram
+// (Figure 1's x-axis) with the given bin width in nanoseconds.
+func PathHistogram(d *Design, binWidth float64) *PathHistogramResult {
+	return sta.PathHistogram(d, binWidth)
+}
+
+// OptimizeDeterministic runs the corner-based critical-path coordinate
+// descent baseline of Section 4.
+func OptimizeDeterministic(d *Design, cfg Config) (*Result, error) {
+	return core.Deterministic(d, cfg)
+}
+
+// OptimizeBruteForce runs exact statistical sizing with a full SSTA pass
+// per candidate gate per iteration (Section 3.1).
+func OptimizeBruteForce(d *Design, cfg Config) (*Result, error) {
+	return core.BruteForce(d, cfg)
+}
+
+// OptimizeAccelerated runs the paper's pruning algorithm (Figures 6, 7
+// and 9): results identical to OptimizeBruteForce at a small fraction of
+// the cost (the paper reports up to 56x; EXPERIMENTS.md records 6-176x
+// on this implementation, growing with circuit size).
+func OptimizeAccelerated(d *Design, cfg Config) (*Result, error) {
+	return core.Accelerated(d, cfg)
+}
+
+// GaussAnalysis is a moment-propagation SSTA pass (the related-work
+// baseline of Jacobs/Berkelaar and Raj et al.: Gaussian arrivals with
+// Clark's max approximation).
+type GaussAnalysis = gauss.Analysis
+
+// AnalyzeGaussian runs the analytic Gaussian SSTA baseline — fast, but
+// it discards the CDF shape information the paper's discretized engine
+// retains.
+func AnalyzeGaussian(d *Design) *GaussAnalysis { return gauss.Analyze(d) }
+
+// TimingPath is one source-to-sink path with its nominal delay.
+type TimingPath = sta.Path
+
+// TopPaths enumerates the k nominally longest paths in descending order.
+func TopPaths(d *Design, k int) []TimingPath {
+	return sta.Analyze(d).TopPaths(k)
+}
+
+// Criticality estimates per-gate critical-path probabilities by Monte
+// Carlo (indexed by gate ID).
+func Criticality(d *Design, samples int, seed int64) ([]float64, error) {
+	return montecarlo.Criticality(d, samples, seed)
+}
+
+// CorrModel describes spatially correlated intra-die variation for
+// MonteCarloCorrelated.
+type CorrModel = montecarlo.CorrModel
+
+// MonteCarloCorrelated samples the circuit delay under spatially
+// correlated variation — the effect the paper's independence-based bound
+// explicitly does not model (Section 2); use it to quantify that gap.
+func MonteCarloCorrelated(d *Design, samples int, seed int64, m CorrModel) (*MCResult, error) {
+	return montecarlo.RunCorrelated(d, samples, seed, m)
+}
