@@ -1,0 +1,3 @@
+module statsize
+
+go 1.24

@@ -1,0 +1,322 @@
+// Package dist implements the discretized probability distributions the
+// SSTA engine propagates (the DAC'03 representation the paper builds
+// on): a probability mass function on the uniform grid t = i·dt. Bin k
+// of a Dist carries the probability that the value equals (i0+k)·dt, so
+// convolution (delay addition along an edge) and the independence
+// maximum (fanin merge) are exact lattice operations — which is what
+// lets the accelerated optimizer reproduce brute-force results bit for
+// bit.
+//
+// The package also provides the perturbation machinery of Section 3:
+// PerturbationBound computes Δ, the largest leftward shift of a
+// perturbed CDF against its base (the per-node quantity whose maximum
+// over a propagation front is the paper's pruning bound Smx·Δw).
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a discretized probability distribution on a uniform grid:
+// mass p[k] sits at time (i0+k)·dt. The mass vector always sums to 1
+// (up to float rounding) and has nonzero first and last entries.
+type Dist struct {
+	dt float64
+	i0 int
+	p  []float64
+}
+
+// trim drops zero-mass bins at both ends, keeping supports tight.
+func trim(dt float64, i0 int, p []float64) *Dist {
+	lo, hi := 0, len(p)
+	for lo < hi && p[lo] == 0 {
+		lo++
+	}
+	for hi > lo && p[hi-1] == 0 {
+		hi--
+	}
+	if lo == hi {
+		// Degenerate all-zero mass: keep a single empty bin rather than
+		// an invalid zero-length distribution.
+		return &Dist{dt: dt, i0: i0, p: []float64{0}}
+	}
+	return &Dist{dt: dt, i0: i0 + lo, p: p[lo:hi]}
+}
+
+// Point returns the distribution concentrated on the grid point nearest
+// to v.
+func Point(dt, v float64) *Dist {
+	if dt <= 0 {
+		panic(fmt.Sprintf("dist: non-positive dt %v", dt))
+	}
+	return &Dist{dt: dt, i0: int(math.Round(v / dt)), p: []float64{1}}
+}
+
+// TruncGauss discretizes a Gaussian with the given mean and standard
+// deviation, truncated at ±k·sigma and renormalized — the paper's
+// intra-die delay variation model. A zero sigma yields a point mass.
+func TruncGauss(dt, mean, sigma, k float64) (*Dist, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("dist: non-positive dt %v", dt)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("dist: negative sigma %v", sigma)
+	}
+	if sigma == 0 {
+		return Point(dt, mean), nil
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dist: non-positive truncation %v", k)
+	}
+	lo, hi := mean-k*sigma, mean+k*sigma
+	iLo := int(math.Round(lo / dt))
+	iHi := int(math.Round(hi / dt))
+	p := make([]float64, iHi-iLo+1)
+	total := 0.0
+	for i := iLo; i <= iHi; i++ {
+		a := math.Max(lo, (float64(i)-0.5)*dt)
+		b := math.Min(hi, (float64(i)+0.5)*dt)
+		if b <= a {
+			continue
+		}
+		m := phi((b-mean)/sigma) - phi((a-mean)/sigma)
+		p[i-iLo] = m
+		total += m
+	}
+	if total <= 0 {
+		// The whole truncation window fell inside one half-bin; collapse
+		// to a point mass at the mean.
+		return Point(dt, mean), nil
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return trim(dt, iLo, p), nil
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// DT returns the grid resolution in time units.
+func (d *Dist) DT() float64 { return d.dt }
+
+// I0 returns the grid index of the first bin.
+func (d *Dist) I0() int { return d.i0 }
+
+// NumBins returns the number of bins in the support.
+func (d *Dist) NumBins() int { return len(d.p) }
+
+// MassAt returns the probability mass of bin k (0 <= k < NumBins).
+func (d *Dist) MassAt(k int) float64 { return d.p[k] }
+
+// MinTime returns the earliest support point.
+func (d *Dist) MinTime() float64 { return float64(d.i0) * d.dt }
+
+// MaxTime returns the latest support point.
+func (d *Dist) MaxTime() float64 { return float64(d.i0+len(d.p)-1) * d.dt }
+
+// Mean returns the expected value.
+func (d *Dist) Mean() float64 {
+	m := 0.0
+	for k, pk := range d.p {
+		m += float64(d.i0+k) * pk
+	}
+	return m * d.dt
+}
+
+// Std returns the standard deviation.
+func (d *Dist) Std() float64 {
+	mean := d.Mean()
+	v := 0.0
+	for k, pk := range d.p {
+		x := float64(d.i0+k)*d.dt - mean
+		v += pk * x * x
+	}
+	return math.Sqrt(v)
+}
+
+// probEps absorbs float rounding when comparing cumulative
+// probabilities: bin sums drift by ~1e-16 per operation, and a quantile
+// query must not skip to the next bin over such noise.
+const probEps = 1e-12
+
+// Percentile returns the p-quantile: the earliest grid point whose
+// cumulative probability reaches p.
+func (d *Dist) Percentile(p float64) float64 {
+	cum := 0.0
+	for k, pk := range d.p {
+		cum += pk
+		if cum >= p-probEps {
+			return float64(d.i0+k) * d.dt
+		}
+	}
+	return d.MaxTime()
+}
+
+// CDF returns the probability of a value at or below t.
+func (d *Dist) CDF(t float64) float64 {
+	cum := 0.0
+	for k, pk := range d.p {
+		if float64(d.i0+k)*d.dt > t+probEps*d.dt {
+			break
+		}
+		cum += pk
+	}
+	return cum
+}
+
+// ShiftBins returns a copy displaced by n grid steps (negative n shifts
+// earlier).
+func (d *Dist) ShiftBins(n int) *Dist {
+	return &Dist{dt: d.dt, i0: d.i0 + n, p: d.p}
+}
+
+// Convolve returns the distribution of the sum of two independent
+// variables — the arrival-plus-edge-delay step of SSTA. Exact on the
+// lattice: indices add.
+func Convolve(a, b *Dist) *Dist {
+	out := make([]float64, len(a.p)+len(b.p)-1)
+	// Convolve with the shorter operand outer so the inner loop runs
+	// long and contiguous.
+	x, y := a, b
+	if len(x.p) > len(y.p) {
+		x, y = y, x
+	}
+	for i, pi := range x.p {
+		if pi == 0 {
+			continue
+		}
+		row := out[i : i+len(y.p)]
+		for j, pj := range y.p {
+			row[j] += pi * pj
+		}
+	}
+	return trim(a.dt, a.i0+b.i0, out)
+}
+
+// MaxIndep returns the distribution of the maximum of two independent
+// variables — the fanin merge of SSTA: the result CDF is the product of
+// the operand CDFs, evaluated bin by bin on the common grid.
+func MaxIndep(a, b *Dist) *Dist {
+	lo := a.i0
+	if b.i0 > lo {
+		lo = b.i0
+	}
+	aHi, bHi := a.i0+len(a.p)-1, b.i0+len(b.p)-1
+	hi := aHi
+	if bHi > hi {
+		hi = bHi
+	}
+	out := make([]float64, hi-lo+1)
+	cumA := a.cdfBelow(lo)
+	cumB := b.cdfBelow(lo)
+	prev := 0.0 // product of CDFs at the previous index; P(max < lo) = 0
+	for i := lo; i <= hi; i++ {
+		if k := i - a.i0; k >= 0 && k < len(a.p) {
+			cumA += a.p[k]
+		}
+		if k := i - b.i0; k >= 0 && k < len(b.p) {
+			cumB += b.p[k]
+		}
+		prod := cumA * cumB
+		m := prod - prev
+		if m < 0 {
+			m = 0
+		}
+		out[i-lo] = m
+		prev = prod
+	}
+	return trim(a.dt, lo, out)
+}
+
+// cdfBelow returns the cumulative probability strictly before absolute
+// grid index i.
+func (d *Dist) cdfBelow(i int) float64 {
+	if i <= d.i0 {
+		return 0
+	}
+	n := i - d.i0
+	if n >= len(d.p) {
+		n = len(d.p)
+	}
+	cum := 0.0
+	for k := 0; k < n; k++ {
+		cum += d.p[k]
+	}
+	return cum
+}
+
+// ApproxEqual reports whether two distributions assign the same mass to
+// every grid point within tol (tol = 0 demands bit equality) — the test
+// the optimizer uses to detect that a perturbation has died out.
+func ApproxEqual(a, b *Dist, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if a.dt != b.dt {
+		return false
+	}
+	lo, hi := a.i0, a.i0+len(a.p)-1
+	if b.i0 < lo {
+		lo = b.i0
+	}
+	if h := b.i0 + len(b.p) - 1; h > hi {
+		hi = h
+	}
+	for i := lo; i <= hi; i++ {
+		var ma, mb float64
+		if k := i - a.i0; k >= 0 && k < len(a.p) {
+			ma = a.p[k]
+		}
+		if k := i - b.i0; k >= 0 && k < len(b.p) {
+			mb = b.p[k]
+		}
+		if diff := ma - mb; diff > tol || diff < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPercentileGap returns the largest horizontal gap between the
+// quantile functions of a and b: sup over probability levels of
+// (Q_a(p) − Q_b(p)), clamped at zero. When b is a leftward perturbation
+// of a, this is the maximum arrival-time improvement at any percentile.
+//
+// Probability levels within probEps are treated as reached — the ε
+// slack the optimizer's pruneSlack constant accounts for.
+func MaxPercentileGap(a, b *Dist) float64 {
+	gap := 0.0
+	cumB := 0.0
+	cumA := 0.0
+	ja := 0 // bins of a consumed so far
+	for k, pk := range b.p {
+		cumB += pk
+		if pk <= 0 {
+			continue
+		}
+		for ja < len(a.p) && cumA < cumB-probEps {
+			cumA += a.p[ja]
+			ja++
+		}
+		// Q_a(cumB) is the last bin consumed; before any bin is consumed
+		// the level is below probEps and the gap there is immaterial.
+		if ja == 0 {
+			continue
+		}
+		g := float64((a.i0+ja-1)-(b.i0+k)) * a.dt
+		if g > gap {
+			gap = g
+		}
+	}
+	return gap
+}
+
+// PerturbationBound returns Δ for a perturbed arrival CDF against its
+// base: the largest leftward shift at any probability level, an upper
+// bound (Theorems 1–4) on how much any downstream percentile — and so
+// the optimization objective — can improve.
+func PerturbationBound(base, perturbed *Dist) float64 {
+	return MaxPercentileGap(base, perturbed)
+}
