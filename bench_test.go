@@ -8,6 +8,7 @@
 package statsize
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,7 @@ func benchOpts(circuits ...string) experiments.Options {
 // 99-percentile delay at equal area).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(benchOpts("c432"))
+		rows, err := experiments.Table1(context.Background(), benchOpts("c432"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func BenchmarkTable1(b *testing.B) {
 // per-iteration runtime and pruning rate).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(benchOpts("c432"))
+		rows, err := experiments.Table2(context.Background(), benchOpts("c432"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure1 regenerates the path-wall comparison of Figure 1.
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1("c432", benchOpts("c432")); err != nil {
+		if _, err := experiments.Figure1(context.Background(), "c432", benchOpts("c432")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +70,7 @@ func BenchmarkFigure1(b *testing.B) {
 // Figure 2.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure2("c432", benchOpts("c432")); err != nil {
+		if _, err := experiments.Figure2(context.Background(), "c432", benchOpts("c432")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkFigure2(b *testing.B) {
 // fast — cmd/figure10 runs the paper's circuit).
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure10("c432", benchOpts("c432")); err != nil {
+		if _, err := experiments.Figure10(context.Background(), "c432", benchOpts("c432")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +91,7 @@ func BenchmarkFigure10(b *testing.B) {
 // bound vs Monte Carlo at the 99th percentile).
 func BenchmarkBoundsVsMC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.BoundsVsMC(benchOpts("c432", "c880")); err != nil {
+		if _, err := experiments.BoundsVsMC(context.Background(), benchOpts("c432", "c880")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 				b.StopTimer()
 				fresh := d.Clone()
 				b.StartTimer()
-				if _, err := core.Accelerated(fresh, cfg); err != nil {
+				if _, err := core.Accelerated(context.Background(), fresh, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -193,7 +194,7 @@ func BenchmarkAblationElision(b *testing.B) {
 				b.StopTimer()
 				fresh := d.Clone()
 				b.StartTimer()
-				if _, err := core.Accelerated(fresh, cfg); err != nil {
+				if _, err := core.Accelerated(context.Background(), fresh, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,21 +9,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"statsize/internal/experiments"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
 	resolve := experiments.FlagOptions(fs)
 	circuit := fs.String("circuit", "c432", "circuit to profile")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	res, err := experiments.Figure1(*circuit, resolve())
+	res, err := experiments.Figure1(ctx, *circuit, resolve())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figure1:", err)
 		os.Exit(1)

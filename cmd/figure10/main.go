@@ -9,14 +9,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"statsize/internal/experiments"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fs := flag.NewFlagSet("figure10", flag.ExitOnError)
 	resolve := experiments.FlagOptions(fs)
 	circuit := fs.String("circuit", "c3540", "circuit to trace")
@@ -24,7 +28,7 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	res, err := experiments.Figure10(*circuit, resolve())
+	res, err := experiments.Figure10(ctx, *circuit, resolve())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figure10:", err)
 		os.Exit(1)

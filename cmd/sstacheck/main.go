@@ -8,14 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"statsize/internal/experiments"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fs := flag.NewFlagSet("sstacheck", flag.ExitOnError)
 	resolve := experiments.FlagOptions(fs)
 	corr := fs.Bool("corr", false, "also sweep spatially correlated variation against the bound")
@@ -23,7 +27,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := resolve()
-	rows, err := experiments.BoundsVsMC(opts)
+	rows, err := experiments.BoundsVsMC(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sstacheck:", err)
 		os.Exit(1)
@@ -33,7 +37,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *corr {
-		crows, err := experiments.CorrelationStudy(opts, nil)
+		crows, err := experiments.CorrelationStudy(ctx, opts, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sstacheck:", err)
 			os.Exit(1)

@@ -1,27 +1,43 @@
-// Command statsize sizes a single circuit with any of the three
-// optimizers and reports the timing before and after, optionally dumping
-// the optimized netlist and a per-iteration trace.
+// Command statsize sizes a single circuit with any registered optimizer
+// and reports the timing before and after, optionally dumping a
+// per-iteration trace and validating with Monte Carlo. Ctrl-C cancels
+// the run and reports the partial trace sized so far.
 //
 // Usage:
 //
-//	statsize -circuit c432 -method accel -iters 100
-//	statsize -bench mydesign.bench -method brute -iters 20 -trace
-//	statsize -circuit c880 -method det -area-cap 0.25
+//	statsize -circuit c432 -optimizer accelerated -iters 100
+//	statsize -bench mydesign.bench -optimizer brute-force -iters 20 -trace
+//	statsize -circuit c880 -optimizer deterministic -area-cap 0.25
+//	statsize -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"statsize"
 	"statsize/internal/report"
 )
 
+// legacyMethods maps the pre-registry -method shorthands to registry
+// names so existing invocations keep working.
+var legacyMethods = map[string]string{
+	"det":   "deterministic",
+	"brute": "brute-force",
+	"accel": "accelerated",
+}
+
 func main() {
 	circuit := flag.String("circuit", "", "benchmark name (c17, c432 .. c7552)")
 	bench := flag.String("bench", "", "path to an ISCAS .bench netlist (alternative to -circuit)")
-	method := flag.String("method", "accel", "optimizer: det | brute | accel")
+	optimizer := flag.String("optimizer", "accelerated", "registered optimizer name (see -list)")
+	method := flag.String("method", "", "deprecated alias of -optimizer (det | brute | accel)")
+	list := flag.Bool("list", false, "list registered optimizers and exit")
 	iters := flag.Int("iters", 100, "maximum sizing iterations")
 	bins := flag.Int("bins", 600, "SSTA grid bins")
 	areaCap := flag.Float64("area-cap", 0, "stop after this relative area increase (0.25 = +25%)")
@@ -32,28 +48,49 @@ func main() {
 	mcSamples := flag.Int("mc", 0, "validate the result with N Monte Carlo samples")
 	flag.Parse()
 
-	if err := run(*circuit, *bench, *method, *iters, *bins, *areaCap, *percentile,
+	if *list {
+		fmt.Println(strings.Join(statsize.Optimizers(), "\n"))
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	name := *optimizer
+	if *method != "" {
+		if mapped, ok := legacyMethods[*method]; ok {
+			name = mapped
+		} else {
+			name = *method
+		}
+	}
+	if err := run(ctx, *circuit, *bench, name, *iters, *bins, *areaCap, *percentile,
 		*multi, *heuristic, *trace, *mcSamples); err != nil {
 		fmt.Fprintln(os.Stderr, "statsize:", err)
 		os.Exit(1)
 	}
 }
 
-func run(circuit, bench, method string, iters, bins int, areaCap, percentile float64,
-	multi, heuristic int, trace bool, mcSamples int) error {
+func run(ctx context.Context, circuit, bench, optimizer string, iters, bins int,
+	areaCap, percentile float64, multi, heuristic int, trace bool, mcSamples int) error {
+	eng, err := statsize.New(
+		statsize.WithBins(bins),
+		statsize.WithObjective(statsize.Percentile(percentile)),
+	)
+	if err != nil {
+		return err
+	}
+
 	var d *statsize.Design
-	var err error
 	switch {
 	case circuit != "" && bench != "":
 		return fmt.Errorf("use either -circuit or -bench, not both")
 	case circuit != "":
-		d, err = statsize.Benchmark(circuit)
+		d, err = eng.Benchmark(circuit)
 	case bench != "":
 		var f *os.File
 		f, err = os.Open(bench)
 		if err == nil {
 			defer f.Close()
-			d, err = statsize.LoadBench(f, bench)
+			d, err = eng.LoadBench(f, bench)
 		}
 	default:
 		return fmt.Errorf("one of -circuit or -bench is required")
@@ -62,36 +99,26 @@ func run(circuit, bench, method string, iters, bins int, areaCap, percentile flo
 		return err
 	}
 
-	nominal := statsize.AnalyzeSTA(d).CircuitDelay()
+	nominal := eng.AnalyzeSTA(d).CircuitDelay()
 	fmt.Printf("circuit: %v\n", d.NL)
 	fmt.Printf("nominal delay (min size): %.4f ns\n", nominal)
 
-	cfg := statsize.Config{
-		MaxIterations:   iters,
-		Bins:            bins,
-		MaxAreaIncrease: areaCap,
-		Objective:       statsize.Percentile(percentile),
-		MultiSize:       multi,
-		HeuristicLevels: heuristic,
-	}
-	var res *statsize.Result
-	switch method {
-	case "det":
-		res, err = statsize.OptimizeDeterministic(d, cfg)
-	case "brute":
-		res, err = statsize.OptimizeBruteForce(d, cfg)
-	case "accel":
-		res, err = statsize.OptimizeAccelerated(d, cfg)
-	default:
-		return fmt.Errorf("unknown method %q (want det, brute or accel)", method)
-	}
-	if err != nil {
+	res, err := eng.Optimize(ctx, d, optimizer,
+		statsize.MaxIterations(iters),
+		statsize.MaxAreaIncrease(areaCap),
+		statsize.MultiSize(multi),
+		statsize.HeuristicLevels(heuristic),
+	)
+	canceled := errors.Is(err, context.Canceled) && res != nil
+	if canceled {
+		fmt.Printf("canceled; reporting the partial run\n")
+	} else if err != nil {
 		return err
 	}
 
-	fmt.Printf("method: %s, %d iterations in %v\n", res.Method, res.Iterations, res.Elapsed.Round(1000000))
-	fmt.Printf("objective (%v): %.4f -> %.4f ns  (%.2f%% improvement)\n",
-		cfg.Objective, res.InitialObjective, res.FinalObjective, res.Improvement())
+	fmt.Printf("optimizer: %s, %d iterations in %v\n", res.Method, res.Iterations, res.Elapsed.Round(1000000))
+	fmt.Printf("objective (p%g): %.4f -> %.4f ns  (%.2f%% improvement)\n",
+		100*percentile, res.InitialObjective, res.FinalObjective, res.Improvement())
 	fmt.Printf("total gate size: %.1f -> %.1f  (+%.1f%%)\n",
 		res.InitialWidth, res.FinalWidth, res.AreaIncrease())
 
@@ -114,8 +141,8 @@ func run(circuit, bench, method string, iters, bins int, areaCap, percentile flo
 		}
 	}
 
-	if mcSamples > 0 {
-		mc, err := statsize.MonteCarlo(d, mcSamples, 1)
+	if mcSamples > 0 && !canceled {
+		mc, err := eng.MonteCarlo(ctx, res.Design, mcSamples, 1)
 		if err != nil {
 			return err
 		}

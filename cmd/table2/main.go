@@ -8,21 +8,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"statsize/internal/experiments"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	resolve := experiments.FlagOptions(fs)
 	csv := fs.Bool("csv", false, "emit CSV instead of the formatted table")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	rows, err := experiments.Table2(resolve())
+	rows, err := experiments.Table2(ctx, resolve())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table2:", err)
 		os.Exit(1)

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"statsize"
 	"statsize/internal/netlist"
@@ -28,40 +30,45 @@ func main() {
 	corr := flag.Float64("corr", 0.5, "correlated variance fraction for the spatial-correlation study (0 disables)")
 	topCrit := flag.Int("crit", 10, "most critical gates to list")
 	flag.Parse()
-	if err := run(*circuit, *bench, *paths, *samples, *bins, *corr, *topCrit); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *circuit, *bench, *paths, *samples, *bins, *corr, *topCrit); err != nil {
 		fmt.Fprintln(os.Stderr, "timingreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(circuit, bench string, paths, samples, bins int, corr float64, topCrit int) error {
+func run(ctx context.Context, circuit, bench string, paths, samples, bins int, corr float64, topCrit int) error {
+	eng, err := statsize.New(statsize.WithBins(bins))
+	if err != nil {
+		return err
+	}
 	var d *statsize.Design
-	var err error
 	if bench != "" {
 		f, err2 := os.Open(bench)
 		if err2 != nil {
 			return err2
 		}
 		defer f.Close()
-		d, err = statsize.LoadBench(f, bench)
+		d, err = eng.LoadBench(f, bench)
 	} else {
-		d, err = statsize.Benchmark(circuit)
+		d, err = eng.Benchmark(circuit)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Println(d.NL)
 
-	det := statsize.AnalyzeSTA(d)
+	det := eng.AnalyzeSTA(d)
 	fmt.Printf("\nnominal circuit delay: %.4f ns\n", det.CircuitDelay())
 
 	// Three statistical views of the same circuit.
-	a, err := statsize.AnalyzeSSTA(d, bins)
+	a, err := eng.AnalyzeSSTA(ctx, d)
 	if err != nil {
 		return err
 	}
 	ga := statsize.AnalyzeGaussian(d)
-	mc, err := statsize.MonteCarlo(d, samples, 1)
+	mc, err := eng.MonteCarlo(ctx, d, samples, 1)
 	if err != nil {
 		return err
 	}
@@ -106,7 +113,7 @@ func run(circuit, bench string, paths, samples, bins int, corr float64, topCrit 
 	}
 
 	// Statistical criticality.
-	crit, err := statsize.Criticality(d, samples, 2)
+	crit, err := eng.Criticality(ctx, d, samples, 2)
 	if err != nil {
 		return err
 	}
@@ -146,7 +153,7 @@ func run(circuit, bench string, paths, samples, bins int, corr float64, topCrit 
 	// Spatial correlation study.
 	if corr > 0 {
 		cm := statsize.CorrModel{GlobalFrac: corr * 0.6, RegionFrac: corr * 0.4}
-		cmc, err := statsize.MonteCarloCorrelated(d, samples, 3, cm)
+		cmc, err := eng.MonteCarloCorrelated(ctx, d, samples, 3, cm)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,346 @@
+package statsize
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/design"
+	"statsize/internal/montecarlo"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+	"statsize/internal/sta"
+)
+
+// Engine is the long-lived entry point of the library: it binds a cell
+// library and analysis defaults once and then serves any number of
+// loading, analysis and optimization requests, concurrently.
+//
+// Every method is safe for concurrent use. Optimization methods operate
+// on a private clone of the design they are given, so one loaded
+// netlist can back many simultaneous requests; the sized design comes
+// back in Result.Design. All methods that can run long take a
+// context.Context and honor cancellation promptly, returning whatever
+// partial result exists wrapped around context.Canceled.
+//
+//	eng, _ := statsize.New(
+//		statsize.WithBins(600),
+//		statsize.WithObjective(statsize.Percentile(0.99)),
+//		statsize.WithParallelism(8),
+//	)
+//	d, _ := eng.Benchmark("c432")
+//	res, _ := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(100))
+type Engine struct {
+	lib         *cell.Library
+	bins        int
+	objective   Objective
+	parallelism int
+
+	mu    sync.Mutex
+	cache map[string]*design.Design // benchmark name -> min-sized base design
+}
+
+// Option configures an Engine under construction.
+type Option func(*Engine)
+
+// WithLibrary selects the cell library for designs the engine builds.
+// The default is DefaultLibrary(). The library must not be mutated
+// while the engine is in use.
+func WithLibrary(lib *Library) Option { return func(e *Engine) { e.lib = lib } }
+
+// WithBins sets the default SSTA grid resolution (bins across the
+// estimated circuit delay). The default is 600, the experiments'
+// setting.
+func WithBins(n int) Option { return func(e *Engine) { e.bins = n } }
+
+// WithObjective sets the default optimization objective. The default is
+// Percentile(0.99), the paper's.
+func WithObjective(o Objective) Option { return func(e *Engine) { e.objective = o } }
+
+// WithParallelism bounds the worker count of batch APIs such as
+// OptimizeSuite. The default is GOMAXPROCS.
+func WithParallelism(n int) Option { return func(e *Engine) { e.parallelism = n } }
+
+// New builds an Engine from functional options.
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{cache: make(map[string]*design.Design)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.lib == nil {
+		e.lib = cell.Default180nm()
+	}
+	if err := e.lib.Validate(); err != nil {
+		return nil, err
+	}
+	if e.bins == 0 {
+		e.bins = 600
+	}
+	if e.bins < 0 {
+		return nil, fmt.Errorf("statsize: negative bin budget %d", e.bins)
+	}
+	if e.objective == nil {
+		e.objective = Percentile(0.99)
+	}
+	if e.parallelism == 0 {
+		e.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if e.parallelism < 0 {
+		return nil, fmt.Errorf("statsize: negative parallelism %d", e.parallelism)
+	}
+	return e, nil
+}
+
+// defaultEngine backs the package-level convenience functions.
+var defaultEngine = sync.OnceValue(func() *Engine {
+	e, err := New()
+	if err != nil {
+		panic("statsize: default engine: " + err.Error())
+	}
+	return e
+})
+
+// Library returns the engine's cell library.
+func (e *Engine) Library() *Library { return e.lib }
+
+// Bins returns the engine's default SSTA grid resolution.
+func (e *Engine) Bins() int { return e.bins }
+
+// Objective returns the engine's default optimization objective.
+func (e *Engine) Objective() Objective { return e.objective }
+
+// Parallelism returns the engine's batch worker bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// Benchmark returns a minimum-sized design for a named benchmark: "c17"
+// is the genuine embedded ISCAS'85 netlist; c432..c7552 are structural
+// replicas matching the paper's Table 1 node/edge counts exactly. The
+// elaborated circuit is built once per engine and cached; callers
+// receive independent clones, so designs returned here can be sized and
+// analyzed freely without affecting each other.
+func (e *Engine) Benchmark(name string) (*Design, error) {
+	e.mu.Lock()
+	base, ok := e.cache[name]
+	e.mu.Unlock()
+	if ok {
+		return base.Clone(), nil
+	}
+	base, err := e.buildBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if cached, ok := e.cache[name]; ok {
+		base = cached // another goroutine won the build race; keep one copy
+	} else {
+		e.cache[name] = base
+	}
+	e.mu.Unlock()
+	return base.Clone(), nil
+}
+
+func (e *Engine) buildBenchmark(name string) (*design.Design, error) {
+	if name == "c17" {
+		return design.New(netlist.C17(e.lib), e.lib)
+	}
+	sp, ok := circuitgen.ByName(name)
+	if !ok {
+		return nil, &UnknownCircuitError{Name: name}
+	}
+	nl, err := circuitgen.Generate(e.lib, sp)
+	if err != nil {
+		return nil, err
+	}
+	return design.New(nl, e.lib)
+}
+
+// LoadBench parses an ISCAS .bench netlist and returns a minimum-sized
+// design over the engine's library.
+func (e *Engine) LoadBench(r io.Reader, name string) (*Design, error) {
+	nl, err := netlist.ParseBench(r, name, e.lib)
+	if err != nil {
+		return nil, err
+	}
+	return design.New(nl, e.lib)
+}
+
+// GenerateCircuit builds a design from a custom synthetic circuit spec.
+func (e *Engine) GenerateCircuit(sp CircuitSpec) (*Design, error) {
+	nl, err := circuitgen.Generate(e.lib, sp)
+	if err != nil {
+		return nil, err
+	}
+	return design.New(nl, e.lib)
+}
+
+// NewDesign binds an existing netlist to the engine's library at
+// minimum widths.
+func (e *Engine) NewDesign(nl *Netlist) (*Design, error) {
+	return design.New(nl, e.lib)
+}
+
+// AnalyzeSTA runs deterministic static timing analysis.
+func (e *Engine) AnalyzeSTA(d *Design) *STAResult { return sta.Analyze(d) }
+
+// AnalyzeSSTA runs statistical static timing analysis at the engine's
+// grid resolution.
+func (e *Engine) AnalyzeSSTA(ctx context.Context, d *Design) (*Analysis, error) {
+	return ssta.Analyze(ctx, d, d.SuggestDT(e.bins))
+}
+
+// MonteCarlo samples the exact circuit-delay distribution.
+func (e *Engine) MonteCarlo(ctx context.Context, d *Design, samples int, seed int64) (*MCResult, error) {
+	return montecarlo.Run(ctx, d, samples, seed)
+}
+
+// MonteCarloCorrelated samples the circuit delay under spatially
+// correlated variation.
+func (e *Engine) MonteCarloCorrelated(ctx context.Context, d *Design, samples int, seed int64, m CorrModel) (*MCResult, error) {
+	return montecarlo.RunCorrelated(ctx, d, samples, seed, m)
+}
+
+// Criticality estimates per-gate critical-path probabilities by Monte
+// Carlo (indexed by gate ID).
+func (e *Engine) Criticality(ctx context.Context, d *Design, samples int, seed int64) ([]float64, error) {
+	return montecarlo.Criticality(ctx, d, samples, seed)
+}
+
+// RunOption adjusts the configuration of one optimization run on top of
+// the engine's defaults.
+type RunOption func(*Config)
+
+// MaxIterations caps the sizing iterations of a run.
+func MaxIterations(n int) RunOption { return func(c *Config) { c.MaxIterations = n } }
+
+// MaxAreaIncrease stops a run once the total gate width exceeds the
+// initial total by this fraction (0.25 = +25%).
+func MaxAreaIncrease(frac float64) RunOption { return func(c *Config) { c.MaxAreaIncrease = frac } }
+
+// MultiSize sizes the top-k gates per iteration instead of one.
+func MultiSize(k int) RunOption { return func(c *Config) { c.MultiSize = k } }
+
+// HeuristicLevels stops perturbation fronts after n levels and uses the
+// bound as an approximate sensitivity (drops the exactness guarantee).
+func HeuristicLevels(n int) RunOption { return func(c *Config) { c.HeuristicLevels = n } }
+
+// ForObjective overrides the engine's objective for one run.
+func ForObjective(o Objective) RunOption { return func(c *Config) { c.Objective = o } }
+
+// OnIteration observes each completed sizing iteration of a run.
+func OnIteration(fn func(IterRecord)) RunOption { return func(c *Config) { c.OnIteration = fn } }
+
+// WithConfig replaces the run configuration wholesale; later options
+// still apply on top, and unset fields still inherit engine defaults.
+// It is the bridge for code migrating from the deprecated free
+// functions, which took a Config directly.
+func WithConfig(cfg Config) RunOption { return func(c *Config) { *c = cfg } }
+
+// buildConfig resolves one run's Config: run options over a zero
+// config, then engine defaults for whatever they left unset.
+func (e *Engine) buildConfig(opts []RunOption) Config {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.Objective == nil {
+		cfg.Objective = e.objective
+	}
+	if cfg.Bins <= 0 && cfg.DT <= 0 {
+		cfg.Bins = e.bins
+	}
+	return cfg
+}
+
+// Optimize sizes a clone of d with the named optimizer (see Optimizers
+// for the registry) under the engine's defaults adjusted by run
+// options. The caller's design is never mutated; the sized clone is
+// Result.Design.
+//
+// Cancellation via ctx is honored between iterations and between
+// candidate evaluations: the partial Result — committed iterations, the
+// partially sized clone, the trace — is returned together with an error
+// wrapping context.Canceled.
+func (e *Engine) Optimize(ctx context.Context, d *Design, optimizer string, opts ...RunOption) (*Result, error) {
+	o, err := lookupOptimizer(optimizer)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(ctx, d.Clone(), e.buildConfig(opts))
+}
+
+// SuiteResult is one circuit's outcome within OptimizeSuite.
+type SuiteResult struct {
+	Circuit string
+	Result  *Result // nil when Err is set before the run produced anything
+	Err     error
+}
+
+// OptimizeSuite runs the named optimizer over a batch of benchmark
+// circuits (nil means the full Table 1 suite) on a worker pool bounded
+// by the engine's parallelism. Results arrive in input order; a
+// circuit's failure is recorded in its SuiteResult without aborting the
+// rest. The returned error is non-nil only when the context ended the
+// batch early — per-circuit errors never abort the suite — and then the
+// undone circuits carry the context error in their Err fields.
+//
+// This is the seed of the service layer the ROADMAP aims at: one engine
+// instance, one loaded library, N concurrent sizing workloads.
+func (e *Engine) OptimizeSuite(ctx context.Context, circuits []string, optimizer string, opts ...RunOption) ([]SuiteResult, error) {
+	if _, err := lookupOptimizer(optimizer); err != nil {
+		return nil, err
+	}
+	if circuits == nil {
+		circuits = BenchmarkNames()
+	}
+	out := make([]SuiteResult, len(circuits))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.parallelism
+	if workers > len(circuits) {
+		workers = len(circuits)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				name := circuits[i]
+				out[i] = SuiteResult{Circuit: name}
+				d, err := e.Benchmark(name)
+				if err != nil {
+					out[i].Err = err
+					continue
+				}
+				res, err := e.Optimize(ctx, d, optimizer, opts...)
+				out[i].Result = res
+				out[i].Err = err
+			}
+		}()
+	}
+	var batchErr error
+dispatch:
+	for i := range circuits {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			batchErr = fmt.Errorf("statsize: suite canceled after dispatching %d of %d circuits: %w",
+				i, len(circuits), ctx.Err())
+			for j := i; j < len(circuits); j++ {
+				out[j] = SuiteResult{Circuit: circuits[j], Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	// The context can also die after the last dispatch while runs are
+	// still in flight; the batch is truncated either way.
+	if batchErr == nil && ctx.Err() != nil {
+		batchErr = fmt.Errorf("statsize: suite canceled with runs in flight: %w", ctx.Err())
+	}
+	return out, batchErr
+}

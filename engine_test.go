@@ -1,0 +1,482 @@
+package statsize
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newEngine(t testing.TB, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEngineOptionsApply(t *testing.T) {
+	lib := DefaultLibrary()
+	eng := newEngine(t,
+		WithLibrary(lib),
+		WithBins(400),
+		WithObjective(Percentile(0.95)),
+		WithParallelism(3),
+	)
+	if eng.Library() != lib {
+		t.Error("WithLibrary not applied")
+	}
+	if eng.Bins() != 400 {
+		t.Error("WithBins not applied")
+	}
+	if eng.Objective() != Percentile(0.95) {
+		t.Error("WithObjective not applied")
+	}
+	if eng.Parallelism() != 3 {
+		t.Error("WithParallelism not applied")
+	}
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := New(WithBins(-1)); err == nil {
+		t.Error("negative bins accepted")
+	}
+	if _, err := New(WithParallelism(-2)); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	bad := DefaultLibrary()
+	bad.WMin = -1
+	if _, err := New(WithLibrary(bad)); err == nil {
+		t.Error("invalid library accepted")
+	}
+}
+
+func TestEngineBenchmarkCachesAndClones(t *testing.T) {
+	eng := newEngine(t)
+	d1, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("Benchmark returned the same design twice")
+	}
+	if d1.NL != d2.NL {
+		t.Error("clones should share the immutable netlist")
+	}
+	// Sizing one clone must not leak into the other.
+	d1.SetWidth(0, d1.Lib.WMax)
+	if d2.Width(0) == d1.Width(0) {
+		t.Error("widths leaked between benchmark clones")
+	}
+	d3, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Width(0) != d3.Lib.WMin {
+		t.Error("cache was polluted by a caller's resize")
+	}
+}
+
+func TestEngineOptimizeDoesNotMutateCaller(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.TotalWidth()
+	res, err := eng.Optimize(context.Background(), d, "accelerated", MaxIterations(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalWidth() != before {
+		t.Error("Optimize mutated the caller's design")
+	}
+	if res.Design == nil || res.Design == d {
+		t.Fatal("Result.Design must be a private clone")
+	}
+	if res.Design.TotalWidth() <= before {
+		t.Error("clone was not sized")
+	}
+	if res.FinalWidth != res.Design.TotalWidth() {
+		t.Error("Result.FinalWidth disagrees with the sized clone")
+	}
+}
+
+func TestEngineObjectiveDefaultsAndOverrides(t *testing.T) {
+	eng := newEngine(t, WithObjective(Mean{}))
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine default objective flows into runs...
+	res, err := eng.Optimize(context.Background(), d, "accelerated", MaxIterations(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.AnalyzeSSTA(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.InitialObjective, a.SinkDist().Mean(); got != want {
+		t.Errorf("engine objective not used: initial %v, want mean %v", got, want)
+	}
+	// ...and a per-run override wins.
+	res99, err := eng.Optimize(context.Background(), d, "accelerated",
+		MaxIterations(1), ForObjective(Percentile(0.99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res99.InitialObjective, a.Percentile(0.99); got != want {
+		t.Errorf("ForObjective override not used: initial %v, want p99 %v", got, want)
+	}
+}
+
+// Canceling a brute-force run on c880 mid-flight must return promptly
+// with context.Canceled and the partial trace of whatever iterations
+// committed — not run the remaining (expensive) iterations to the end.
+func TestOptimizeCancellationReturnsPartialResult(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel as soon as the first iteration lands: the remaining 999
+	// brute-force iterations would take minutes.
+	canceledAt := make(chan struct{})
+	var once sync.Once
+	res, err := eng.Optimize(ctx, d, "brute-force",
+		MaxIterations(1000),
+		OnIteration(func(IterRecord) {
+			once.Do(func() { cancel(); close(canceledAt) })
+		}),
+	)
+	select {
+	case <-canceledAt:
+	default:
+		t.Fatal("optimization finished without ever iterating")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled run returned no partial result")
+	}
+	if res.Iterations < 1 || len(res.Records) != res.Iterations {
+		t.Errorf("partial trace inconsistent: %d iterations, %d records", res.Iterations, len(res.Records))
+	}
+	if res.Iterations >= 1000 {
+		t.Error("run completed despite cancellation")
+	}
+	if res.Design == nil {
+		t.Fatal("partial result lost the design")
+	}
+	// The partial design state must match the partial trace.
+	if res.Design.TotalWidth() != res.Records[len(res.Records)-1].TotalWidth {
+		t.Error("partial design width disagrees with last committed record")
+	}
+	cancel()
+}
+
+// A context that is already dead must stop the run before any sizing.
+func TestOptimizePreCanceledContext(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.Optimize(ctx, d, "accelerated", MaxIterations(10))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalysisCancellation(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.AnalyzeSSTA(ctx, d); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeSSTA err = %v, want context.Canceled", err)
+	}
+	mc, err := eng.MonteCarlo(ctx, d, 100000, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("MonteCarlo err = %v, want context.Canceled", err)
+	}
+	if mc == nil {
+		t.Error("MonteCarlo cancellation should still return the partial sample set")
+	}
+	if _, err := eng.Criticality(ctx, d, 100000, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("Criticality err = %v, want context.Canceled", err)
+	}
+}
+
+// Two goroutines optimizing clones of one loaded design concurrently —
+// the headline concurrency contract, meaningful under -race.
+func TestConcurrentOptimizeOnSharedDesign(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Optimize(ctx, d, "accelerated", MaxIterations(5))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+	}
+	// Identical inputs, independent clones: both runs must agree.
+	if results[0].FinalObjective != results[1].FinalObjective {
+		t.Errorf("concurrent runs diverged: %v vs %v",
+			results[0].FinalObjective, results[1].FinalObjective)
+	}
+	if results[0].Design == results[1].Design {
+		t.Error("concurrent runs shared a design")
+	}
+	if d.TotalWidth() != float64(d.NL.NumGates())*d.Lib.WMin {
+		t.Error("shared base design was mutated")
+	}
+}
+
+// Concurrent mixed analysis traffic against one engine and one design.
+func TestConcurrentAnalysisTraffic(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				if _, err := eng.AnalyzeSSTA(ctx, d); err != nil {
+					t.Error(err)
+				}
+			case 1:
+				if _, err := eng.MonteCarlo(ctx, d, 2000, int64(i)); err != nil {
+					t.Error(err)
+				}
+			default:
+				if _, err := eng.Benchmark("c432"); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestOptimizeSuite(t *testing.T) {
+	eng := newEngine(t, WithParallelism(2))
+	ctx := context.Background()
+	out, err := eng.OptimizeSuite(ctx, []string{"c17", "c432", "c9999"}, "accelerated", MaxIterations(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("suite returned %d results", len(out))
+	}
+	for i, name := range []string{"c17", "c432", "c9999"} {
+		if out[i].Circuit != name {
+			t.Errorf("result %d is %q, want input order %q", i, out[i].Circuit, name)
+		}
+	}
+	for _, r := range out[:2] {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Circuit, r.Err)
+		}
+		if r.Result == nil || r.Result.Iterations == 0 {
+			t.Errorf("%s: no optimization happened", r.Circuit)
+		}
+	}
+	// A bad circuit fails its own row without aborting the batch.
+	var unknown *UnknownCircuitError
+	if !errors.As(out[2].Err, &unknown) || unknown.Name != "c9999" {
+		t.Errorf("c9999 err = %v, want UnknownCircuitError", out[2].Err)
+	}
+}
+
+func TestOptimizeSuiteUnknownOptimizer(t *testing.T) {
+	eng := newEngine(t)
+	_, err := eng.OptimizeSuite(context.Background(), []string{"c17"}, "simulated-annealing")
+	var unknown *UnknownOptimizerError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want UnknownOptimizerError", err)
+	}
+}
+
+func TestOptimizeSuiteCancellation(t *testing.T) {
+	eng := newEngine(t, WithParallelism(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := eng.OptimizeSuite(ctx, []string{"c17", "c432"}, "accelerated", MaxIterations(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range out {
+		if r.Err == nil && r.Result == nil {
+			t.Errorf("%s: no outcome recorded on canceled suite", r.Circuit)
+		}
+	}
+}
+
+func TestOptimizerRegistry(t *testing.T) {
+	names := Optimizers()
+	for _, want := range []string{"accelerated", "brute-force", "deterministic", "heuristic-levels", "multi-size"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin optimizer %q missing from registry (%v)", want, names)
+		}
+	}
+
+	// Plug in a custom strategy and drive it through the engine by name.
+	custom := OptimizerFunc{
+		OptName: "test-noop",
+		Run: func(ctx context.Context, d *Design, cfg Config) (*Result, error) {
+			return &Result{Method: "test-noop", Design: d}, nil
+		},
+	}
+	if err := RegisterOptimizer(custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterOptimizer(custom); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := RegisterOptimizer(OptimizerFunc{OptName: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Optimize(context.Background(), d, "test-noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "test-noop" {
+		t.Errorf("custom optimizer not dispatched: method %q", res.Method)
+	}
+}
+
+func TestUnknownOptimizerError(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Optimize(context.Background(), d, "gradient-descent")
+	var unknown *UnknownOptimizerError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want UnknownOptimizerError", err)
+	}
+	if unknown.Name != "gradient-descent" {
+		t.Errorf("error names %q", unknown.Name)
+	}
+	if !strings.Contains(err.Error(), "accelerated") {
+		t.Error("error message should list registered optimizers")
+	}
+}
+
+// The registered strategy variants must actually change behavior.
+func TestRegisteredVariants(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	multi, err := eng.Optimize(ctx, d, "multi-size", MaxIterations(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Records) > 0 && len(multi.Records[0].Gates) < 2 {
+		t.Error("multi-size variant sized one gate per iteration")
+	}
+	heur, err := eng.Optimize(ctx, d, "heuristic-levels", MaxIterations(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur.Iterations == 0 {
+		t.Error("heuristic-levels variant made no progress")
+	}
+}
+
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	// The free functions must behave exactly like the engine methods
+	// they wrap: same improvements, no caller mutation.
+	d, err := Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.TotalWidth()
+	for _, run := range []func(*Design, Config) (*Result, error){
+		OptimizeDeterministic, OptimizeBruteForce, OptimizeAccelerated,
+	} {
+		res, err := run(d, Config{MaxIterations: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.TotalWidth() != before {
+			t.Fatal("deprecated wrapper mutated the caller's design")
+		}
+		if res.Design == nil {
+			t.Fatal("deprecated wrapper lost the sized design")
+		}
+	}
+}
+
+// Cancellation latency guard: a canceled long run must come back well
+// under the time the full run would take.
+func TestCancellationIsPrompt(t *testing.T) {
+	eng := newEngine(t)
+	d, err := eng.Benchmark("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = eng.Optimize(ctx, d, "brute-force", MaxIterations(1000))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Generous bound: a c880 brute-force run is minutes; prompt
+	// cancellation is within one candidate evaluation of the deadline.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}

@@ -1,0 +1,53 @@
+package statsize
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkUnknownCircuitError(t *testing.T) {
+	_, err := Benchmark("c1355x")
+	var unknown *UnknownCircuitError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want *UnknownCircuitError", err)
+	}
+	if unknown.Name != "c1355x" {
+		t.Errorf("error names %q", unknown.Name)
+	}
+	if !strings.Contains(err.Error(), "c1355x") {
+		t.Error("message should include the circuit name")
+	}
+	eng := newEngine(t)
+	if _, err := eng.Benchmark("nope"); !errors.As(err, &unknown) {
+		t.Errorf("engine Benchmark err = %v, want *UnknownCircuitError", err)
+	}
+}
+
+func TestLoadBenchMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage", "this is not a bench file\n"},
+		{"unknown gate kind", "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n"},
+		{"undriven net", "INPUT(a)\nOUTPUT(z)\nz = NOT(ghost)\n"},
+		{"duplicate driver", "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = NOT(a)\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := LoadBench(strings.NewReader(tc.src), tc.name)
+			if err == nil {
+				t.Fatalf("parsed %q into %v, want error", tc.src, d.NL)
+			}
+		})
+	}
+}
+
+func TestGenerateCircuitRejectsBadSpec(t *testing.T) {
+	_, err := GenerateCircuit(CircuitSpec{Name: "bad", Nodes: 10, Edges: 2, PIs: 20, POs: 1, Depth: 3})
+	if err == nil {
+		t.Error("inconsistent spec accepted")
+	}
+}

@@ -1,12 +1,14 @@
 // Custom circuits: bring your own netlist. This example sizes the
 // genuine ISCAS'85 c17 parsed from .bench text, then a synthetic circuit
 // generated to a custom spec, comparing brute-force and accelerated
-// optimizers — which must agree gate for gate.
+// optimizers — which must agree gate for gate. Both runs size private
+// clones of the same loaded design.
 //
 //	go run ./examples/customcircuit
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -35,24 +37,27 @@ cout = OR(g1, c2a)
 `
 
 func main() {
+	ctx := context.Background()
+	eng, err := statsize.New(statsize.WithBins(800))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Note: the parser takes one declaration per line.
 	src := strings.ReplaceAll(myBench, "INPUT(a0) INPUT(b0)", "INPUT(a0)\nINPUT(b0)")
-	d, err := statsize.LoadBench(strings.NewReader(src), "adder2")
+	d, err := eng.LoadBench(strings.NewReader(src), "adder2")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(d.NL)
 
-	brute, err := statsize.LoadBench(strings.NewReader(src), "adder2")
+	// One design, two optimizers: each run clones d, so no second parse
+	// is needed and d itself stays minimum-sized.
+	accRes, err := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(10))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := statsize.Config{MaxIterations: 10, Bins: 800}
-	accRes, err := statsize.OptimizeAccelerated(d, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	bruRes, err := statsize.OptimizeBruteForce(brute, cfg)
+	bruRes, err := eng.Optimize(ctx, d, "brute-force", statsize.MaxIterations(10))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,13 +75,13 @@ func main() {
 
 	// Synthetic circuits with exact graph statistics are one call away —
 	// here a 500-node, depth-20 benchmark of our own.
-	custom, err := statsize.GenerateCircuit(statsize.CircuitSpec{
+	custom, err := eng.GenerateCircuit(statsize.CircuitSpec{
 		Name: "mydesign", Nodes: 500, Edges: 900, PIs: 40, POs: 25, Depth: 20, Seed: 7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := statsize.OptimizeAccelerated(custom, statsize.Config{MaxIterations: 40})
+	res, err := eng.Optimize(ctx, custom, "accelerated", statsize.MaxIterations(40))
 	if err != nil {
 		log.Fatal(err)
 	}

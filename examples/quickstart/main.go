@@ -1,11 +1,12 @@
-// Quickstart: load a benchmark, inspect its statistical timing, run the
-// paper's accelerated statistical gate sizer, and validate the result
-// with Monte Carlo.
+// Quickstart: build an engine, load a benchmark, inspect its
+// statistical timing, run the paper's accelerated statistical gate
+// sizer, and validate the result with Monte Carlo.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,21 +14,33 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
+	// An Engine is a long-lived, concurrency-safe session: library and
+	// analysis defaults bound once, then any number of requests.
+	eng, err := statsize.New(
+		statsize.WithBins(600),
+		statsize.WithObjective(statsize.Percentile(0.99)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The replica of ISCAS'85 c432 — 214 timing-graph nodes and 379
 	// edges, exactly as in the paper's Table 1.
-	d, err := statsize.Benchmark("c432")
+	d, err := eng.Benchmark("c432")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(d.NL)
 
 	// Deterministic timing: the longest path through nominal delays.
-	nominal := statsize.AnalyzeSTA(d).CircuitDelay()
+	nominal := eng.AnalyzeSTA(d).CircuitDelay()
 	fmt.Printf("nominal circuit delay: %.4f ns\n", nominal)
 
 	// Statistical timing: with 10%-sigma intra-die variation the
 	// 99-percentile delay sits well above nominal.
-	a, err := statsize.AnalyzeSSTA(d, 600)
+	a, err := eng.AnalyzeSSTA(ctx, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,8 +50,9 @@ func main() {
 	// Size gates with the accelerated statistical optimizer. Each
 	// iteration finds the gate whose upsizing most improves the p99
 	// delay — using perturbation-bound pruning instead of a full SSTA
-	// run per candidate.
-	res, err := statsize.OptimizeAccelerated(d, statsize.Config{MaxIterations: 60})
+	// run per candidate. The run works on a private clone; d itself is
+	// untouched and the sized design comes back in res.Design.
+	res, err := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(60))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +61,7 @@ func main() {
 		res.Improvement(), res.AreaIncrease())
 
 	// Monte Carlo confirms the SSTA bound tracked the true distribution.
-	mc, err := statsize.MonteCarlo(d, 5000, 42)
+	mc, err := eng.MonteCarlo(ctx, res.Design, 5000, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,42 +19,47 @@ import (
 
 func main() {
 	const iters = 80
+	ctx := context.Background()
 
-	det, err := statsize.Benchmark("c432")
+	eng, err := statsize.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	stat, err := statsize.Benchmark("c432")
+	// One cached netlist serves both runs: each Optimize call sizes its
+	// own private clone of d.
+	d, err := eng.Benchmark("c432")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	detRes, err := statsize.OptimizeDeterministic(det, statsize.Config{MaxIterations: iters})
+	detRes, err := eng.Optimize(ctx, d, "deterministic", statsize.MaxIterations(iters))
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Equal area: the statistical optimizer gets the same number of
 	// width steps the deterministic one actually used.
-	statRes, err := statsize.OptimizeAccelerated(stat, statsize.Config{MaxIterations: detRes.Iterations})
+	statRes, err := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(detRes.Iterations))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("equal added area: deterministic %d steps, statistical %d steps\n",
 		detRes.Iterations, statRes.Iterations)
 
+	det, stat := detRes.Design, statRes.Design
+
 	// Compare the path profiles on a common delay axis (as Figure 1
 	// does): the wall shows up as the population of paths slower than a
 	// shared threshold near the deterministic design's critical delay.
-	detCrit := statsize.AnalyzeSTA(det).CircuitDelay()
+	detCrit := eng.AnalyzeSTA(det).CircuitDelay()
 	threshold := 0.92 * detCrit
 	for _, c := range []struct {
 		name string
 		d    *statsize.Design
 	}{{"deterministic", det}, {"statistical", stat}} {
-		crit := statsize.AnalyzeSTA(c.d).CircuitDelay()
+		crit := eng.AnalyzeSTA(c.d).CircuitDelay()
 		h := statsize.PathHistogram(c.d, detCrit/300)
 		wall := h.CountAtLeast(threshold)
-		a, err := statsize.AnalyzeSSTA(c.d, 600)
+		a, err := eng.AnalyzeSSTA(ctx, c.d)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,8 +67,14 @@ func main() {
 			c.name, crit, threshold, wall, a.Percentile(0.99))
 	}
 
-	detA, _ := statsize.AnalyzeSSTA(det, 600)
-	statA, _ := statsize.AnalyzeSSTA(stat, 600)
+	detA, err := eng.AnalyzeSSTA(ctx, det)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statA, err := eng.AnalyzeSSTA(ctx, stat)
+	if err != nil {
+		log.Fatal(err)
+	}
 	d99, s99 := detA.Percentile(0.99), statA.Percentile(0.99)
 	fmt.Printf("\nstatistical optimization wins the 99-percentile delay by %.2f%% at the same area\n",
 		100*(d99-s99)/d99)

@@ -4,12 +4,16 @@
 //
 // The optimizer supports any objective on the sink CDF; this example
 // contrasts a p99 run with a mean-delay run and reads yield off the
-// resulting distributions, tracing the area-yield trade-off as it goes.
+// resulting distributions. Because Engine.Optimize hands back the sized
+// clone after each call, the area-yield trade-off is traced by running
+// the optimizer in short bursts and re-analyzing between them — the
+// session-style composition the Engine API is built for.
 //
 //	go run ./examples/yieldopt
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +21,16 @@ import (
 )
 
 func main() {
-	base, err := statsize.Benchmark("c880")
+	ctx := context.Background()
+	eng, err := statsize.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := statsize.AnalyzeSSTA(base, 600)
+	base, err := eng.Benchmark("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := eng.AnalyzeSSTA(ctx, base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,43 +40,40 @@ func main() {
 	fmt.Printf("target clock period: %.4f ns\n", target)
 	fmt.Printf("min-size yield at target: %.1f%%\n", 100*a.SinkDist().CDF(target))
 
+	const bursts, burstIters = 6, 10
 	for _, objective := range []statsize.Objective{
 		statsize.Percentile(0.99),
 		statsize.Mean{},
 	} {
-		d, err := statsize.Benchmark("c880")
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("\noptimizing objective %v:\n", objective)
-		fmt.Printf("  %-6s %-12s %-10s\n", "iter", "total size", "yield @ target")
-		res, err := statsize.OptimizeAccelerated(d, statsize.Config{
-			MaxIterations: 60,
-			Objective:     objective,
-			OnIteration: func(r statsize.IterRecord) {
-				// Yield moves fastest in the first few steps; sample
-				// densely there, sparsely afterwards.
-				it := r.Iter + 1
-				if !(it <= 10 && it%2 == 0) && it%15 != 0 {
-					return
-				}
-				ya, err := statsize.AnalyzeSSTA(d, 600)
-				if err != nil {
-					return
-				}
-				fmt.Printf("  %-6d %-12.1f %.1f%%\n",
-					r.Iter+1, r.TotalWidth, 100*ya.SinkDist().CDF(target))
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
+		fmt.Printf("  %-6s %-12s %-10s\n", "iters", "total size", "yield @ target")
+		d := base
+		initial, final := 0.0, 0.0
+		for burst := 0; burst < bursts; burst++ {
+			res, err := eng.Optimize(ctx, d, "accelerated",
+				statsize.MaxIterations(burstIters),
+				statsize.ForObjective(objective),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if burst == 0 {
+				initial = res.InitialObjective
+			}
+			final = res.FinalObjective
+			d = res.Design
+			ya, err := eng.AnalyzeSSTA(ctx, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6d %-12.1f %.1f%%\n",
+				(burst+1)*burstIters, d.TotalWidth(), 100*ya.SinkDist().CDF(target))
+			if res.Iterations < burstIters {
+				break // converged early
+			}
 		}
-		final, err := statsize.AnalyzeSSTA(d, 600)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  final: %v %.4f -> %.4f ns, yield %.1f%% (+%.1f%% area)\n",
-			objective, res.InitialObjective, res.FinalObjective,
-			100*final.SinkDist().CDF(target), res.AreaIncrease())
+		areaInc := 100 * (d.TotalWidth() - base.TotalWidth()) / base.TotalWidth()
+		fmt.Printf("  final: %v %.4f -> %.4f ns (+%.1f%% area)\n",
+			objective, initial, final, areaInc)
 	}
 }

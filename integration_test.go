@@ -56,9 +56,11 @@ func TestOptimizeThenValidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The incremental commits inside the optimizer must leave the design
-	// in a state where a fresh analysis reproduces the reported value.
-	a, err := AnalyzeSSTA(d, 600)
+	sized := res.Design
+	// The incremental commits inside the optimizer must leave the sized
+	// clone in a state where a fresh analysis reproduces the reported
+	// value.
+	a, err := AnalyzeSSTA(sized, 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestOptimizeThenValidate(t *testing.T) {
 	if rel := math.Abs(fresh-res.FinalObjective) / fresh; rel > 0.002 {
 		t.Errorf("fresh SSTA p99 %.5f vs optimizer-reported %.5f", fresh, res.FinalObjective)
 	}
-	mc, err := MonteCarlo(d, 20000, 7)
+	mc, err := MonteCarlo(sized, 20000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +78,7 @@ func TestOptimizeThenValidate(t *testing.T) {
 	}
 	// Loads must not have drifted through hundreds of incremental
 	// updates.
-	if err := d.RecomputeLoads(1e-9); err != nil {
+	if err := sized.RecomputeLoads(1e-9); err != nil {
 		t.Error(err)
 	}
 }

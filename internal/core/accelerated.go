@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"statsize/internal/design"
@@ -27,8 +28,8 @@ import (
 // its exact sensitivity updates Max_S; any front whose bound falls below
 // Max_S is discarded without further propagation. The surviving argmax
 // is identical to the brute-force result.
-func Accelerated(d *design.Design, cfg Config) (*Result, error) {
-	return statisticalDescent(d, cfg, "accelerated", acceleratedIteration)
+func Accelerated(ctx context.Context, d *design.Design, cfg Config) (*Result, error) {
+	return statisticalDescent(ctx, d, cfg, "accelerated", acceleratedIteration)
 }
 
 // front is the A'set bookkeeping of one candidate gate (Figure 7/9): the
@@ -210,7 +211,7 @@ func (h *frontHeap) Pop() any {
 // propagated to the sink before anything else, so Max_S starts high and
 // prunes from the first heap pop; this only reorders evaluation and
 // cannot change the result.
-func acceleratedIteration(a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error) {
+func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error) {
 	d := a.D
 	deltaW := d.Lib.DeltaW
 	var ir innerResult
@@ -218,6 +219,9 @@ func acceleratedIteration(a *ssta.Analysis, cfg Config, base float64, hint netli
 	h := make(frontHeap, 0, d.NL.NumGates())
 	var hintFront *front
 	for _, gid := range candidateGates(d) {
+		if err := ctx.Err(); err != nil {
+			return ir, err
+		}
 		ir.considered++
 		f, err := newFront(a, cfg, gid)
 		if err != nil {
@@ -255,7 +259,14 @@ func acceleratedIteration(a *ssta.Analysis, cfg Config, base float64, hint netli
 		finish(hintFront)
 	}
 
+	pops := 0
 	for h.Len() > 0 {
+		if pops%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return ir, err
+			}
+		}
+		pops++
 		f := heap.Pop(&h).(*front)
 		// Pruning (Figure 6, step 20): the heap maximum's front bound
 		// Smx = Δmx/Δw dominates every remaining candidate's true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"statsize/internal/design"
@@ -16,8 +18,8 @@ import (
 // O(N·E)-per-iteration reference the accelerated algorithm is measured
 // against in Table 2, and the ground truth its results must match
 // exactly.
-func BruteForce(d *design.Design, cfg Config) (*Result, error) {
-	return statisticalDescent(d, cfg, "brute-force", bruteForceIteration)
+func BruteForce(ctx context.Context, d *design.Design, cfg Config) (*Result, error) {
+	return statisticalDescent(ctx, d, cfg, "brute-force", bruteForceIteration)
 }
 
 // statisticalDescent is the outer coordinate-descent loop shared by the
@@ -28,15 +30,22 @@ func BruteForce(d *design.Design, cfg Config) (*Result, error) {
 // gate early lets it prune many inferior candidates, and the just-sized
 // gate is usually still near the top. The hint only reorders evaluation;
 // results are unchanged.
+//
+// The context is checked between iterations and between candidate
+// evaluations inside `inner`. On cancellation the Result built so far —
+// every committed iteration, a consistent design state, the partial
+// trace — is returned alongside an error wrapping context.Canceled (or
+// DeadlineExceeded), so a canceled run is still a usable, smaller run.
 func statisticalDescent(
+	ctx context.Context,
 	d *design.Design,
 	cfg Config,
 	method string,
-	inner func(a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error),
+	inner func(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error),
 ) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	a, err := ssta.Analyze(d, gridFor(d, cfg))
+	a, err := ssta.Analyze(ctx, d, gridFor(d, cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -44,18 +53,32 @@ func statisticalDescent(
 		Method:           method,
 		InitialWidth:     d.TotalWidth(),
 		InitialObjective: cfg.Objective.Eval(a.SinkDist()),
+		Design:           d,
 	}
 	res.FinalObjective = res.InitialObjective
 
+	partial := func(cause error) (*Result, error) {
+		res.FinalWidth = d.TotalWidth()
+		res.Elapsed = time.Since(start)
+		return res, fmt.Errorf("core: %s optimization interrupted after %d iterations: %w",
+			method, res.Iterations, cause)
+	}
+
 	hint := netlist.NoGate
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return partial(err)
+		}
 		if areaCapReached(cfg, res.InitialWidth, d.TotalWidth()) {
 			break
 		}
 		iterStart := time.Now()
 		base := cfg.Objective.Eval(a.SinkDist())
-		ir, err := inner(a, cfg, base, hint)
+		ir, err := inner(ctx, a, cfg, base, hint)
 		if err != nil {
+			if ctx.Err() != nil {
+				return partial(ctx.Err())
+			}
 			return nil, err
 		}
 		if len(ir.picks) == 0 || ir.bestSens <= cfg.Tolerance {
@@ -119,12 +142,17 @@ type innerResult struct {
 
 // bruteForceIteration computes every candidate's exact sensitivity by a
 // full overlay SSTA pass and returns the top MultiSize gates. Brute
-// force evaluates everything anyway, so the hint is unused.
-func bruteForceIteration(a *ssta.Analysis, cfg Config, base float64, _ netlist.GateID) (innerResult, error) {
+// force evaluates everything anyway, so the hint is unused. The context
+// is checked once per candidate — each candidate costs a full SSTA
+// propagation, so this is the natural cancellation granularity.
+func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, _ netlist.GateID) (innerResult, error) {
 	d := a.D
 	var ir innerResult
 	top := newTopK(cfg.MultiSize)
 	for _, gid := range candidateGates(d) {
+		if err := ctx.Err(); err != nil {
+			return ir, err
+		}
 		ir.considered++
 		sinkDist, visited, err := bruteSinkDist(a, gid)
 		if err != nil {

@@ -151,6 +151,11 @@ type Result struct {
 	Iterations       int
 	Records          []IterRecord
 	Elapsed          time.Duration
+	// Design is the design the optimizer sized: the argument itself at
+	// this layer, or the private clone when the run went through an
+	// Engine. On cancellation it holds the partially sized state that
+	// the trace in Records describes.
+	Design *design.Design
 }
 
 // Improvement returns the relative objective improvement in percent —

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -52,7 +53,7 @@ func smallDesign(t testing.TB, seed int64) *design.Design {
 
 func TestObjectives(t *testing.T) {
 	d := newDesign(t, "c17")
-	a, err := ssta.Analyze(d, d.SuggestDT(500))
+	a, err := ssta.Analyze(context.Background(), d, d.SuggestDT(500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestObjectives(t *testing.T) {
 
 func TestDeterministicImproves(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Deterministic(d, Config{MaxIterations: 25})
+	res, err := Deterministic(context.Background(), d, Config{MaxIterations: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestDeterministicImproves(t *testing.T) {
 
 func TestAcceleratedImproves(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Accelerated(d, Config{MaxIterations: 20})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestAcceleratedMatchesBruteForceTrajectories(t *testing.T) {
 				db, da = smallDesign(t, 2), smallDesign(t, 2)
 			}
 			cfg := Config{MaxIterations: tc.iters}
-			rb, err := BruteForce(db, cfg)
+			rb, err := BruteForce(context.Background(), db, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ra, err := Accelerated(da, cfg)
+			ra, err := Accelerated(context.Background(), da, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -179,7 +180,7 @@ func TestAcceleratedMatchesBruteForceTrajectories(t *testing.T) {
 func TestFrontBoundDominatesSensitivity(t *testing.T) {
 	d := smallDesign(t, 3)
 	cfg := Config{DisablePruning: true}.withDefaults()
-	a, err := ssta.Analyze(d, gridFor(d, cfg))
+	a, err := ssta.Analyze(context.Background(), d, gridFor(d, cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestFrontBoundDominatesSensitivity(t *testing.T) {
 
 func TestMaxIterationsHonored(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(d, Config{MaxIterations: 3})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestMaxIterationsHonored(t *testing.T) {
 
 func TestAreaCapHonored(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(d, Config{MaxIterations: 1000, MaxAreaIncrease: 0.10})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 1000, MaxAreaIncrease: 0.10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestAreaCapHonored(t *testing.T) {
 
 func TestMultiSize(t *testing.T) {
 	d := smallDesign(t, 4)
-	res, err := Accelerated(d, Config{MaxIterations: 5, MultiSize: 3})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 5, MultiSize: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestMultiSize(t *testing.T) {
 
 func TestHeuristicMode(t *testing.T) {
 	d := smallDesign(t, 5)
-	res, err := Accelerated(d, Config{MaxIterations: 10, HeuristicLevels: 3})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 10, HeuristicLevels: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestHeuristicMode(t *testing.T) {
 
 func TestMeanObjective(t *testing.T) {
 	d := smallDesign(t, 6)
-	res, err := Accelerated(d, Config{MaxIterations: 8, Objective: Mean{}})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 8, Objective: Mean{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,11 +279,11 @@ func TestDisableAblationsStillExact(t *testing.T) {
 	// front-based brute force; results must be unchanged.
 	d1 := smallDesign(t, 7)
 	d2 := smallDesign(t, 7)
-	r1, err := Accelerated(d1, Config{MaxIterations: 6})
+	r1, err := Accelerated(context.Background(), d1, Config{MaxIterations: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Accelerated(d2, Config{MaxIterations: 6, DisablePruning: true, DisableDeadFrontElision: true})
+	r2, err := Accelerated(context.Background(), d2, Config{MaxIterations: 6, DisablePruning: true, DisableDeadFrontElision: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestTopK(t *testing.T) {
 func TestTraceCallback(t *testing.T) {
 	d := newDesign(t, "c17")
 	calls := 0
-	_, err := Accelerated(d, Config{MaxIterations: 4, OnIteration: func(r IterRecord) {
+	_, err := Accelerated(context.Background(), d, Config{MaxIterations: 4, OnIteration: func(r IterRecord) {
 		calls++
 		if r.TotalWidth <= 0 || r.Objective <= 0 {
 			t.Error("bad trace record")

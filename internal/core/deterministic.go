@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"statsize/internal/design"
@@ -19,17 +21,24 @@ import (
 // The reported per-iteration Objective is the nominal circuit delay; the
 // experiment harness reruns SSTA on the resulting designs to obtain the
 // 99-percentile values Table 1 compares.
-func Deterministic(d *design.Design, cfg Config) (*Result, error) {
+func Deterministic(ctx context.Context, d *design.Design, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	res := &Result{
 		Method:       "deterministic",
 		InitialWidth: d.TotalWidth(),
+		Design:       d,
 	}
 	res.InitialObjective = sta.Analyze(d).CircuitDelay()
 	res.FinalObjective = res.InitialObjective
 
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			res.FinalWidth = d.TotalWidth()
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("core: deterministic optimization interrupted after %d iterations: %w",
+				res.Iterations, err)
+		}
 		if areaCapReached(cfg, res.InitialWidth, d.TotalWidth()) {
 			break
 		}

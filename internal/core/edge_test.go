@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestAllGatesAtMaxWidth(t *testing.T) {
 	for g := 0; g < d.NL.NumGates(); g++ {
 		d.SetWidth(netlist.GateID(g), d.Lib.WMax)
 	}
-	res, err := Accelerated(d, Config{MaxIterations: 5})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestSaturationMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Accelerated(d, Config{MaxIterations: 100})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSaturationMidRun(t *testing.T) {
 // With a huge tolerance nothing is ever worth sizing.
 func TestToleranceStopsImmediately(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(d, Config{MaxIterations: 10, Tolerance: 1e9})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 10, Tolerance: 1e9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestDeterministicSaturated(t *testing.T) {
 	for g := 0; g < d.NL.NumGates(); g++ {
 		d.SetWidth(netlist.GateID(g), d.Lib.WMax)
 	}
-	res, err := Deterministic(d, Config{MaxIterations: 5})
+	res, err := Deterministic(context.Background(), d, Config{MaxIterations: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestZeroSigmaStatisticalRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Accelerated(d, Config{MaxIterations: 6, Bins: 2000})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 6, Bins: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestZeroSigmaStatisticalRun(t *testing.T) {
 func TestExplicitGridOverride(t *testing.T) {
 	d := newDesign(t, "c17")
 	cfg := Config{MaxIterations: 1, DT: 0.004}.withDefaults()
-	a, err := ssta.Analyze(d, gridFor(d, cfg))
+	a, err := ssta.Analyze(context.Background(), d, gridFor(d, cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestExplicitGridOverride(t *testing.T) {
 // fanin load penalty dominates); the optimizer must never commit one.
 func TestNeverCommitsNegativeSensitivity(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Accelerated(d, Config{MaxIterations: 40})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestNeverCommitsNegativeSensitivity(t *testing.T) {
 func TestFrontDrainsCompletely(t *testing.T) {
 	d := smallDesign(t, 8)
 	cfg := Config{DisablePruning: true}.withDefaults()
-	a, err := ssta.Analyze(d, gridFor(d, cfg))
+	a, err := ssta.Analyze(context.Background(), d, gridFor(d, cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +168,11 @@ func TestFrontDrainsCompletely(t *testing.T) {
 func TestWarmStartExactness(t *testing.T) {
 	d1 := smallDesign(t, 14)
 	d2 := smallDesign(t, 14)
-	r1, err := Accelerated(d1, Config{MaxIterations: 12})
+	r1, err := Accelerated(context.Background(), d1, Config{MaxIterations: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Accelerated(d2, Config{MaxIterations: 12, DisableWarmStart: true})
+	r2, err := Accelerated(context.Background(), d2, Config{MaxIterations: 12, DisableWarmStart: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestWarmStartExactness(t *testing.T) {
 // MultiSize beyond the candidate count must size what exists and stop.
 func TestMultiSizeOversized(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(d, Config{MaxIterations: 2, MultiSize: 100})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 2, MultiSize: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestMultiSizeOversized(t *testing.T) {
 // An area cap below one step stops immediately after at most one move.
 func TestTinyAreaCap(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Accelerated(d, Config{MaxIterations: 100, MaxAreaIncrease: 1e-9})
+	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 100, MaxAreaIncrease: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestTinyAreaCap(t *testing.T) {
 func TestObjectivesImproveThemselves(t *testing.T) {
 	for _, obj := range []Objective{Percentile(0.5), Percentile(0.99), Mean{}} {
 		d := smallDesign(t, 9)
-		res, err := Accelerated(d, Config{MaxIterations: 10, Objective: obj})
+		res, err := Accelerated(context.Background(), d, Config{MaxIterations: 10, Objective: obj})
 		if err != nil {
 			t.Fatal(err)
 		}

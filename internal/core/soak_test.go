@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -16,11 +17,11 @@ func TestLongHorizonExactness(t *testing.T) {
 	db := newDesign(t, "c432")
 	da := newDesign(t, "c432")
 	cfg := Config{MaxIterations: 40}
-	rb, err := BruteForce(db, cfg)
+	rb, err := BruteForce(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Accelerated(da, cfg)
+	ra, err := Accelerated(context.Background(), da, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +64,11 @@ func TestMultiSizeExactness(t *testing.T) {
 	db := smallDesign(t, 12)
 	da := smallDesign(t, 12)
 	cfg := Config{MaxIterations: 8, MultiSize: 3}
-	rb, err := BruteForce(db, cfg)
+	rb, err := BruteForce(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Accelerated(da, cfg)
+	ra, err := Accelerated(context.Background(), da, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

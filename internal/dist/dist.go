@@ -199,6 +199,17 @@ func Convolve(a, b *Dist) *Dist {
 // variables — the fanin merge of SSTA: the result CDF is the product of
 // the operand CDFs, evaluated bin by bin on the common grid.
 func MaxIndep(a, b *Dist) *Dist {
+	// A strictly-later operand dominates outright: when one support ends
+	// at or before the other begins, the maximum IS the later operand —
+	// returned as-is, bit for bit. This is the exact cancellation the
+	// optimizer's dead-front elision detects ("an unperturbed fanin
+	// dominates the max"), and the common case on unbalanced fanins.
+	if a.i0+len(a.p)-1 <= b.i0 {
+		return b
+	}
+	if b.i0+len(b.p)-1 <= a.i0 {
+		return a
+	}
 	lo := a.i0
 	if b.i0 > lo {
 		lo = b.i0
@@ -215,9 +226,20 @@ func MaxIndep(a, b *Dist) *Dist {
 	for i := lo; i <= hi; i++ {
 		if k := i - a.i0; k >= 0 && k < len(a.p) {
 			cumA += a.p[k]
+			// Snap a fully-consumed operand's CDF to exactly 1 (bin sums
+			// land at 1±ulps): a dominated operand then contributes the
+			// identity, so the max of X and a strictly-later Y reproduces
+			// Y bit for bit — the exact cancellation the optimizer's
+			// dead-front elision detects.
+			if k == len(a.p)-1 && math.Abs(cumA-1) < probEps {
+				cumA = 1
+			}
 		}
 		if k := i - b.i0; k >= 0 && k < len(b.p) {
 			cumB += b.p[k]
+			if k == len(b.p)-1 && math.Abs(cumB-1) < probEps {
+				cumB = 1
+			}
 		}
 		prod := cumA * cumB
 		m := prod - prev
@@ -243,6 +265,11 @@ func (d *Dist) cdfBelow(i int) float64 {
 	cum := 0.0
 	for k := 0; k < n; k++ {
 		cum += d.p[k]
+	}
+	// Same snap as MaxIndep's running sums: a fully-consumed
+	// distribution reports CDF exactly 1.
+	if n == len(d.p) && math.Abs(cum-1) < probEps {
+		cum = 1
 	}
 	return cum
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,7 +25,7 @@ type CorrelationRow struct {
 // CorrelationStudy sweeps the shared-variance fraction on each circuit
 // and reports how far the correlated Monte Carlo p99 moves past the
 // independence bound.
-func CorrelationStudy(opts Options, sharedFracs []float64) ([]CorrelationRow, error) {
+func CorrelationStudy(ctx context.Context, opts Options, sharedFracs []float64) ([]CorrelationRow, error) {
 	opts = opts.withDefaults()
 	if len(sharedFracs) == 0 {
 		sharedFracs = []float64{0, 0.25, 0.5, 0.75}
@@ -36,14 +37,14 @@ func CorrelationStudy(opts Options, sharedFracs []float64) ([]CorrelationRow, er
 		if err != nil {
 			return nil, err
 		}
-		a, err := ssta.Analyze(d, d.SuggestDT(opts.Bins))
+		a, err := ssta.Analyze(ctx, d, d.SuggestDT(opts.Bins))
 		if err != nil {
 			return nil, err
 		}
 		bound := a.Percentile(opts.Percentile)
 		for _, frac := range sharedFracs {
 			m := montecarlo.CorrModel{GlobalFrac: frac * 0.6, RegionFrac: frac * 0.4}
-			mc, err := montecarlo.RunCorrelated(d, opts.MCSamples, opts.Seed+29, m)
+			mc, err := montecarlo.RunCorrelated(ctx, d, opts.MCSamples, opts.Seed+29, m)
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -128,7 +129,7 @@ type Table1Row struct {
 // the same number of iterations (both size one gate by Δw per iteration,
 // so equal iterations means equal added area). The reported 99-percentile
 // delays come from a fresh SSTA pass over each optimized design.
-func Table1(opts Options) ([]Table1Row, error) {
+func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 	opts = opts.withDefaults()
 	var rows []Table1Row
 	for _, name := range opts.Circuits {
@@ -141,7 +142,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		detRes, err := core.Deterministic(dDet, core.Config{
+		detRes, err := core.Deterministic(ctx, dDet, core.Config{
 			MaxIterations: opts.Iterations,
 			Bins:          opts.Bins,
 		})
@@ -152,7 +153,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 		if iters == 0 {
 			iters = opts.Iterations
 		}
-		statRes, err := core.Accelerated(dStat, core.Config{
+		statRes, err := core.Accelerated(ctx, dStat, core.Config{
 			MaxIterations: iters,
 			Bins:          opts.Bins,
 			Objective:     core.Percentile(opts.Percentile),
@@ -160,11 +161,11 @@ func Table1(opts Options) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		det99, err := percentileOf(dDet, opts)
+		det99, err := percentileOf(ctx, dDet, opts)
 		if err != nil {
 			return nil, err
 		}
-		stat99, err := percentileOf(dStat, opts)
+		stat99, err := percentileOf(ctx, dStat, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -185,8 +186,8 @@ func Table1(opts Options) ([]Table1Row, error) {
 
 // percentileOf runs a fresh SSTA pass on a design and evaluates the
 // objective percentile.
-func percentileOf(d *design.Design, opts Options) (float64, error) {
-	a, err := ssta.Analyze(d, d.SuggestDT(opts.Bins))
+func percentileOf(ctx context.Context, d *design.Design, opts Options) (float64, error) {
+	a, err := ssta.Analyze(ctx, d, d.SuggestDT(opts.Bins))
 	if err != nil {
 		return 0, err
 	}
@@ -212,7 +213,7 @@ type Table2Row struct {
 // and per-iteration wall times are compared. The improvement-factor
 // range pairs the brute-force average with the fastest and slowest
 // accelerated iterations, mirroring the paper's columns 5-6.
-func Table2(opts Options) ([]Table2Row, error) {
+func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 	opts = opts.withDefaults()
 	var rows []Table2Row
 	for _, name := range opts.Circuits {
@@ -222,7 +223,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 			return nil, err
 		}
 		cfg := core.Config{MaxIterations: opts.TimedIterations, Bins: opts.Bins}
-		bruteRes, err := core.BruteForce(dB, cfg)
+		bruteRes, err := core.BruteForce(ctx, dB, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +232,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		accelRes, err := core.Accelerated(dA, cfg)
+		accelRes, err := core.Accelerated(ctx, dA, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -19,7 +20,7 @@ func quickOpts() Options {
 }
 
 func TestTable1Quick(t *testing.T) {
-	rows, err := Table1(quickOpts())
+	rows, err := Table1(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestTable1Quick(t *testing.T) {
 func TestTable2Quick(t *testing.T) {
 	opts := quickOpts()
 	opts.Circuits = []string{"c432"}
-	rows, err := Table2(opts)
+	rows, err := Table2(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTable2Quick(t *testing.T) {
 
 func TestFigure10Quick(t *testing.T) {
 	opts := quickOpts()
-	res, err := Figure10("c432", opts)
+	res, err := Figure10(context.Background(), "c432", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestFigure10Quick(t *testing.T) {
 func TestFigure1Quick(t *testing.T) {
 	opts := quickOpts()
 	opts.Iterations = 12
-	res, err := Figure1("c432", opts)
+	res, err := Figure1(context.Background(), "c432", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestFigure1Quick(t *testing.T) {
 }
 
 func TestFigure2Quick(t *testing.T) {
-	res, err := Figure2("c432", quickOpts())
+	res, err := Figure2(context.Background(), "c432", quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFigure2Quick(t *testing.T) {
 func TestBoundsVsMCQuick(t *testing.T) {
 	opts := quickOpts()
 	opts.MCSamples = 4000
-	rows, err := BoundsVsMC(opts)
+	rows, err := BoundsVsMC(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestBoundsVsMCQuick(t *testing.T) {
 func TestUnknownCircuit(t *testing.T) {
 	opts := quickOpts()
 	opts.Circuits = []string{"c404"}
-	if _, err := Table1(opts); err == nil {
+	if _, err := Table1(context.Background(), opts); err == nil {
 		t.Error("expected unknown-circuit error")
 	}
 }

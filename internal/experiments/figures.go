@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"statsize/internal/core"
@@ -31,7 +32,7 @@ type Figure10Result struct {
 // deterministic and statistical optimizers, evaluating each recorded
 // point with both the SSTA bound and Monte Carlo — the two nearly
 // coincident markers of the paper's Figure 10.
-func Figure10(circuit string, opts Options) (*Figure10Result, error) {
+func Figure10(ctx context.Context, circuit string, opts Options) (*Figure10Result, error) {
 	opts = opts.withDefaults()
 	stride := opts.Iterations / opts.TracePoints
 	if stride < 1 {
@@ -44,8 +45,8 @@ func Figure10(circuit string, opts Options) (*Figure10Result, error) {
 		return nil, err
 	}
 	opts.progress("figure10: %s deterministic", circuit)
-	detPoints, err := traceRun(dDet, opts, stride, func(cfg core.Config) (*core.Result, error) {
-		return core.Deterministic(dDet, cfg)
+	detPoints, err := traceRun(ctx, dDet, opts, stride, func(cfg core.Config) (*core.Result, error) {
+		return core.Deterministic(ctx, dDet, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -57,8 +58,8 @@ func Figure10(circuit string, opts Options) (*Figure10Result, error) {
 		return nil, err
 	}
 	opts.progress("figure10: %s statistical", circuit)
-	statPoints, err := traceRun(dStat, opts, stride, func(cfg core.Config) (*core.Result, error) {
-		return core.Accelerated(dStat, cfg)
+	statPoints, err := traceRun(ctx, dStat, opts, stride, func(cfg core.Config) (*core.Result, error) {
+		return core.Accelerated(ctx, dStat, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -70,6 +71,7 @@ func Figure10(circuit string, opts Options) (*Figure10Result, error) {
 // traceRun runs one optimizer while sampling (area, p99-bound, p99-MC)
 // every `stride` iterations, including the initial and final designs.
 func traceRun(
+	ctx context.Context,
 	d *design.Design,
 	opts Options,
 	stride int,
@@ -81,12 +83,12 @@ func traceRun(
 		if traceErr != nil {
 			return
 		}
-		p99, err := percentileOf(d, opts)
+		p99, err := percentileOf(ctx, d, opts)
 		if err != nil {
 			traceErr = err
 			return
 		}
-		mc, err := montecarlo.Run(d, opts.MCSamples, opts.Seed+int64(iter)+7)
+		mc, err := montecarlo.Run(ctx, d, opts.MCSamples, opts.Seed+int64(iter)+7)
 		if err != nil {
 			traceErr = err
 			return
@@ -144,7 +146,7 @@ type Figure1Result struct {
 // piles paths against the critical delay (the "wall", Figure 1a) while
 // the statistical optimizer keeps the profile unbalanced, which is what
 // improves the statistical circuit delay (Figure 1b).
-func Figure1(circuit string, opts Options) (*Figure1Result, error) {
+func Figure1(ctx context.Context, circuit string, opts Options) (*Figure1Result, error) {
 	opts = opts.withDefaults()
 	res := &Figure1Result{Circuit: circuit}
 
@@ -153,7 +155,7 @@ func Figure1(circuit string, opts Options) (*Figure1Result, error) {
 		return nil, err
 	}
 	opts.progress("figure1: %s deterministic", circuit)
-	detRes, err := core.Deterministic(dDet, core.Config{MaxIterations: opts.Iterations, Bins: opts.Bins})
+	detRes, err := core.Deterministic(ctx, dDet, core.Config{MaxIterations: opts.Iterations, Bins: opts.Bins})
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +168,7 @@ func Figure1(circuit string, opts Options) (*Figure1Result, error) {
 		return nil, err
 	}
 	opts.progress("figure1: %s statistical", circuit)
-	statRes, err := core.Accelerated(dStat, core.Config{
+	statRes, err := core.Accelerated(ctx, dStat, core.Config{
 		MaxIterations: iters,
 		Bins:          opts.Bins,
 		Objective:     core.Percentile(opts.Percentile),
@@ -182,11 +184,11 @@ func Figure1(circuit string, opts Options) (*Figure1Result, error) {
 	res.DetWall = res.DetHist.CountAtLeast(0.9 * sta.Analyze(dDet).CircuitDelay())
 	res.StatWall = res.StatHist.CountAtLeast(0.9 * sta.Analyze(dDet).CircuitDelay())
 
-	aDet, err := ssta.Analyze(dDet, dDet.SuggestDT(opts.Bins))
+	aDet, err := ssta.Analyze(ctx, dDet, dDet.SuggestDT(opts.Bins))
 	if err != nil {
 		return nil, err
 	}
-	aStat, err := ssta.Analyze(dStat, dStat.SuggestDT(opts.Bins))
+	aStat, err := ssta.Analyze(ctx, dStat, dStat.SuggestDT(opts.Bins))
 	if err != nil {
 		return nil, err
 	}
@@ -208,19 +210,19 @@ type Figure2Result struct {
 // Figure2 reproduces the illustration of the optimization objective: one
 // accelerated sizing step is taken and the sink CDF before and after is
 // returned, together with the change in the 99-percentile point.
-func Figure2(circuit string, opts Options) (*Figure2Result, error) {
+func Figure2(ctx context.Context, circuit string, opts Options) (*Figure2Result, error) {
 	opts = opts.withDefaults()
 	d, err := buildDesign(circuit, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	a, err := ssta.Analyze(d, d.SuggestDT(opts.Bins))
+	a, err := ssta.Analyze(ctx, d, d.SuggestDT(opts.Bins))
 	if err != nil {
 		return nil, err
 	}
 	before := a.SinkDist()
 	p99Before := before.Percentile(opts.Percentile)
-	res, err := core.Accelerated(d, core.Config{
+	res, err := core.Accelerated(ctx, d, core.Config{
 		MaxIterations: 1,
 		Bins:          opts.Bins,
 		Objective:     core.Percentile(opts.Percentile),
@@ -231,7 +233,7 @@ func Figure2(circuit string, opts Options) (*Figure2Result, error) {
 	if res.Iterations == 0 {
 		return nil, fmt.Errorf("experiments: %s had no positive-sensitivity gate", circuit)
 	}
-	a2, err := ssta.Analyze(d, a.DT)
+	a2, err := ssta.Analyze(ctx, d, a.DT)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +260,7 @@ type BoundsRow struct {
 
 // BoundsVsMC quantifies the tightness of the arrival-time bound on every
 // requested circuit at minimum size.
-func BoundsVsMC(opts Options) ([]BoundsRow, error) {
+func BoundsVsMC(ctx context.Context, opts Options) ([]BoundsRow, error) {
 	opts = opts.withDefaults()
 	var rows []BoundsRow
 	for _, name := range opts.Circuits {
@@ -267,11 +269,11 @@ func BoundsVsMC(opts Options) ([]BoundsRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := ssta.Analyze(d, d.SuggestDT(opts.Bins))
+		a, err := ssta.Analyze(ctx, d, d.SuggestDT(opts.Bins))
 		if err != nil {
 			return nil, err
 		}
-		mc, err := montecarlo.Run(d, opts.MCSamples, opts.Seed+13)
+		mc, err := montecarlo.Run(ctx, d, opts.MCSamples, opts.Seed+13)
 		if err != nil {
 			return nil, err
 		}

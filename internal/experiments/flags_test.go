@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestCorrelationStudyQuick(t *testing.T) {
 	opts := quickOpts()
 	opts.Circuits = []string{"c17"}
 	opts.MCSamples = 3000
-	rows, err := CorrelationStudy(opts, []float64{0, 0.6})
+	rows, err := CorrelationStudy(context.Background(), opts, []float64{0, 0.6})
 	if err != nil {
 		t.Fatal(err)
 	}

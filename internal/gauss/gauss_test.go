@@ -1,6 +1,7 @@
 package gauss
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -123,7 +124,7 @@ func TestAnalyzeTracksDiscretizedSSTA(t *testing.T) {
 	for _, name := range []string{"c17", "c432", "c880"} {
 		d := newDesign(t, name)
 		ga := Analyze(d)
-		da, err := ssta.Analyze(d, d.SuggestDT(600))
+		da, err := ssta.Analyze(context.Background(), d, d.SuggestDT(600))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func TestAnalyzeTracksDiscretizedSSTA(t *testing.T) {
 func TestAnalyzeVsMonteCarlo(t *testing.T) {
 	d := newDesign(t, "c432")
 	ga := Analyze(d)
-	mc, err := montecarlo.Run(d, 20000, 9)
+	mc, err := montecarlo.Run(context.Background(), d, 20000, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -44,7 +45,7 @@ func (m CorrModel) Validate() error {
 // longest-path pass. With GlobalFrac = RegionFrac = 0 it degenerates to
 // the independent model of Run (up to the clamping of the combined
 // deviate).
-func RunCorrelated(d *design.Design, samples int, seed int64, m CorrModel) (*Result, error) {
+func RunCorrelated(ctx context.Context, d *design.Design, samples int, seed int64, m CorrModel) (*Result, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("montecarlo: %d samples", samples)
 	}
@@ -74,6 +75,9 @@ func RunCorrelated(d *design.Design, samples int, seed int64, m CorrModel) (*Res
 	delay := make([]float64, g.NumEdges())
 	out := make([]float64, samples)
 	for s := 0; s < samples; s++ {
+		if s%cancelCheckStride == 0 && ctx.Err() != nil {
+			return canceled(ctx, out[:s])
+		}
 		zg := rng.NormFloat64()
 		for r := range regionZ {
 			regionZ[r] = rng.NormFloat64()

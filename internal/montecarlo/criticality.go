@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,7 @@ import (
 // compute sensitivities for all gates rather than one path (Section
 // 3.1). Each Monte Carlo sample backtracks its argmax path from the sink
 // and credits every gate on it.
-func Criticality(d *design.Design, samples int, seed int64) ([]float64, error) {
+func Criticality(ctx context.Context, d *design.Design, samples int, seed int64) ([]float64, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("montecarlo: %d samples", samples)
 	}
@@ -33,6 +34,15 @@ func Criticality(d *design.Design, samples int, seed int64) ([]float64, error) {
 	counts := make([]int, d.NL.NumGates())
 
 	for s := 0; s < samples; s++ {
+		if s%cancelCheckStride == 0 && ctx.Err() != nil {
+			// Return the partial estimate over the samples drawn so far
+			// (nil when none completed), mirroring Run's contract.
+			var partial []float64
+			if s > 0 {
+				partial = estimates(counts, s)
+			}
+			return partial, fmt.Errorf("montecarlo: criticality canceled after %d samples: %w", s, ctx.Err())
+		}
 		for e := range delay {
 			if nominal[e] == 0 {
 				delay[e] = 0
@@ -60,9 +70,15 @@ func Criticality(d *design.Design, samples int, seed int64) ([]float64, error) {
 			n = g.EdgeAt(eid).From
 		}
 	}
+	return estimates(counts, samples), nil
+}
+
+// estimates converts path-hit counts into per-gate criticality
+// fractions over the given number of completed samples.
+func estimates(counts []int, samples int) []float64 {
 	out := make([]float64, len(counts))
 	for i, c := range counts {
 		out[i] = float64(c) / float64(samples)
 	}
-	return out, nil
+	return out
 }

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func chainDesign(t *testing.T) *design.Design {
 
 func TestCriticalityChainIsOne(t *testing.T) {
 	d := chainDesign(t)
-	crit, err := Criticality(d, 500, 3)
+	crit, err := Criticality(context.Background(), d, 500, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ z = NAND(p, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	crit, err := Criticality(d, 20000, 5)
+	crit, err := Criticality(context.Background(), d, 20000, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,18 +82,18 @@ z = NAND(p, q)
 
 func TestCriticalityValidation(t *testing.T) {
 	d := chainDesign(t)
-	if _, err := Criticality(d, 0, 1); err == nil {
+	if _, err := Criticality(context.Background(), d, 0, 1); err == nil {
 		t.Error("expected sample-count error")
 	}
 }
 
 func TestCorrelatedDegeneratesToIndependent(t *testing.T) {
 	d := chainDesign(t)
-	corr, err := RunCorrelated(d, 4000, 11, CorrModel{})
+	corr, err := RunCorrelated(context.Background(), d, 4000, 11, CorrModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ind, err := Run(d, 4000, 11)
+	ind, err := Run(context.Background(), d, 4000, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,11 +109,11 @@ func TestCorrelationWidensDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ind, err := RunCorrelated(d, 20000, 13, CorrModel{})
+	ind, err := RunCorrelated(context.Background(), d, 20000, 13, CorrModel{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	corr, err := RunCorrelated(d, 20000, 13, CorrModel{GlobalFrac: 0.6, RegionFrac: 0.2})
+	corr, err := RunCorrelated(context.Background(), d, 20000, 13, CorrModel{GlobalFrac: 0.6, RegionFrac: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,13 +130,13 @@ func TestCorrelationWidensDistribution(t *testing.T) {
 
 func TestCorrModelValidation(t *testing.T) {
 	d := chainDesign(t)
-	if _, err := RunCorrelated(d, 10, 1, CorrModel{GlobalFrac: 0.8, RegionFrac: 0.5}); err == nil {
+	if _, err := RunCorrelated(context.Background(), d, 10, 1, CorrModel{GlobalFrac: 0.8, RegionFrac: 0.5}); err == nil {
 		t.Error("expected variance-budget error")
 	}
-	if _, err := RunCorrelated(d, 10, 1, CorrModel{GlobalFrac: -0.1}); err == nil {
+	if _, err := RunCorrelated(context.Background(), d, 10, 1, CorrModel{GlobalFrac: -0.1}); err == nil {
 		t.Error("expected negative-fraction error")
 	}
-	if _, err := RunCorrelated(d, 0, 1, CorrModel{}); err == nil {
+	if _, err := RunCorrelated(context.Background(), d, 0, 1, CorrModel{}); err == nil {
 		t.Error("expected sample-count error")
 	}
 }
@@ -143,11 +144,11 @@ func TestCorrModelValidation(t *testing.T) {
 func TestCorrelatedDeterministicBySeed(t *testing.T) {
 	d := chainDesign(t)
 	m := CorrModel{GlobalFrac: 0.3, RegionFrac: 0.3, Grid: 2}
-	a, err := RunCorrelated(d, 200, 21, m)
+	a, err := RunCorrelated(context.Background(), d, 200, 21, m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCorrelated(d, 200, 21, m)
+	b, err := RunCorrelated(context.Background(), d, 200, 21, m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,13 +22,28 @@ import (
 	"statsize/internal/graph"
 )
 
+// cancelCheckStride is how many samples pass between context checks.
+const cancelCheckStride = 64
+
 // Result holds the sorted sample delays of one run.
 type Result struct {
 	Delays []float64 // ascending
 }
 
-// Run simulates the design with the given sample count and seed.
-func Run(d *design.Design, samples int, seed int64) (*Result, error) {
+// canceled builds the partial Result of an interrupted sampling run:
+// the samples drawn so far, sorted, alongside the wrapped context
+// error, so a caller that chooses to can still read coarse statistics
+// off the truncated sample set.
+func canceled(ctx context.Context, drawn []float64) (*Result, error) {
+	sort.Float64s(drawn)
+	return &Result{Delays: drawn}, fmt.Errorf(
+		"montecarlo: canceled after %d samples: %w", len(drawn), ctx.Err())
+}
+
+// Run simulates the design with the given sample count and seed. On
+// cancellation it returns the partial (sorted) sample set together with
+// the wrapped context error.
+func Run(ctx context.Context, d *design.Design, samples int, seed int64) (*Result, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("montecarlo: %d samples", samples)
 	}
@@ -44,6 +60,9 @@ func Run(d *design.Design, samples int, seed int64) (*Result, error) {
 	out := make([]float64, samples)
 	delay := make([]float64, g.NumEdges())
 	for s := 0; s < samples; s++ {
+		if s%cancelCheckStride == 0 && ctx.Err() != nil {
+			return canceled(ctx, out[:s])
+		}
 		for e := range delay {
 			if nominal[e] == 0 {
 				continue // source/sink arcs

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,11 +23,11 @@ func c17Design(t *testing.T) *design.Design {
 
 func TestDeterministicBySeed(t *testing.T) {
 	d := c17Design(t)
-	a, err := Run(d, 500, 42)
+	a, err := Run(context.Background(), d, 500, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(d, 500, 42)
+	b, err := Run(context.Background(), d, 500, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestDeterministicBySeed(t *testing.T) {
 			t.Fatal("same seed produced different samples")
 		}
 	}
-	c, _ := Run(d, 500, 43)
+	c, _ := Run(context.Background(), d, 500, 43)
 	same := true
 	for i := range a.Delays {
 		if a.Delays[i] != c.Delays[i] {
@@ -50,7 +51,7 @@ func TestDeterministicBySeed(t *testing.T) {
 
 func TestSamplesSortedAndBounded(t *testing.T) {
 	d := c17Design(t)
-	r, err := Run(d, 2000, 1)
+	r, err := Run(context.Background(), d, 2000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestMeanNearNominal(t *testing.T) {
 	// The statistical mean exceeds the nominal circuit delay slightly
 	// (max over random paths) but stays within a few sigma of it.
 	d := c17Design(t)
-	r, err := Run(d, 20000, 3)
+	r, err := Run(context.Background(), d, 20000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPercentileInterpolation(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	d := c17Design(t)
-	if _, err := Run(d, 0, 1); err == nil {
+	if _, err := Run(context.Background(), d, 0, 1); err == nil {
 		t.Error("expected error for zero samples")
 	}
 }

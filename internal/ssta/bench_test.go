@@ -1,6 +1,7 @@
 package ssta
 
 import (
+	"context"
 	"testing"
 
 	"statsize/internal/cell"
@@ -36,7 +37,7 @@ func BenchmarkAnalyze(b *testing.B) {
 			dt := d.SuggestDT(600)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := Analyze(d, dt); err != nil {
+				if _, err := Analyze(context.Background(), d, dt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -51,7 +52,7 @@ func BenchmarkResizeCommitVsFull(b *testing.B) {
 	const name = "c3540"
 	b.Run("incremental", func(b *testing.B) {
 		d := benchDesign(b, name)
-		a, err := Analyze(d, d.SuggestDT(600))
+		a, err := Analyze(context.Background(), d, d.SuggestDT(600))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkResizeCommitVsFull(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			g := netlist.GateID(i % d.NL.NumGates())
 			d.SetWidth(g, d.Width(g)+d.Lib.DeltaW)
-			if _, err := Analyze(d, dt); err != nil {
+			if _, err := Analyze(context.Background(), d, dt); err != nil {
 				b.Fatal(err)
 			}
 		}

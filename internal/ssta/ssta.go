@@ -16,6 +16,7 @@
 package ssta
 
 import (
+	"context"
 	"fmt"
 
 	"statsize/internal/design"
@@ -23,6 +24,12 @@ import (
 	"statsize/internal/graph"
 	"statsize/internal/netlist"
 )
+
+// cancelCheckStride is how many units of work (edge-delay builds, node
+// propagations) pass between context checks: frequent enough for
+// sub-millisecond cancellation latency, rare enough to stay invisible
+// in profiles. Package montecarlo keeps its own equivalent constant.
+const cancelCheckStride = 64
 
 // Analysis is a completed SSTA pass over a design at fixed grid
 // resolution. Arrival distributions are indexed by graph node.
@@ -34,8 +41,11 @@ type Analysis struct {
 	edge    []*dist.Dist // cached delay dists; nil for source/sink arcs
 }
 
-// Analyze runs a full statistical timing analysis on grid dt.
-func Analyze(d *design.Design, dt float64) (*Analysis, error) {
+// Analyze runs a full statistical timing analysis on grid dt. The
+// context is checked periodically inside the propagation loops; on
+// cancellation the partial analysis is discarded and the context's
+// error is returned wrapped.
+func Analyze(ctx context.Context, d *design.Design, dt float64) (*Analysis, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("ssta: non-positive dt %v", dt)
 	}
@@ -47,13 +57,19 @@ func Analyze(d *design.Design, dt float64) (*Analysis, error) {
 		edge:    make([]*dist.Dist, g.NumEdges()),
 	}
 	for e := 0; e < g.NumEdges(); e++ {
+		if e%cancelCheckStride == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("ssta: analysis canceled: %w", ctx.Err())
+		}
 		dd, err := d.EdgeDelayDist(dt, graph.EdgeID(e))
 		if err != nil {
 			return nil, err
 		}
 		a.edge[e] = dd
 	}
-	for _, n := range g.Topo() {
+	for i, n := range g.Topo() {
+		if i%cancelCheckStride == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("ssta: analysis canceled: %w", ctx.Err())
+		}
 		if n == g.Source() {
 			a.arrival[n] = dist.Point(dt, 0)
 			continue

@@ -1,6 +1,7 @@
 package ssta
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -41,7 +42,7 @@ func newDesign(t *testing.T, name string) *design.Design {
 
 func analyze(t *testing.T, d *design.Design, bins int) *Analysis {
 	t.Helper()
-	a, err := Analyze(d, d.SuggestDT(bins))
+	a, err := Analyze(context.Background(), d, d.SuggestDT(bins))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestDegenerateSigmaMatchesSTA(t *testing.T) {
 		t.Fatal(err)
 	}
 	det := sta.Analyze(d).CircuitDelay()
-	a, err := Analyze(d, det/2000)
+	a, err := Analyze(context.Background(), d, det/2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func buildChain(t *testing.T, n int) *design.Design {
 func TestChainMatchesMonteCarlo(t *testing.T) {
 	d := buildChain(t, 12)
 	a := analyze(t, d, 1500)
-	mc, err := montecarlo.Run(d, 40000, 7)
+	mc, err := montecarlo.Run(context.Background(), d, 40000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBoundIsConservativeOnReconvergentCircuit(t *testing.T) {
 	// exact (Monte Carlo) ones, up to sampling noise.
 	d := newDesign(t, "c432")
 	a := analyze(t, d, 600)
-	mc, err := montecarlo.Run(d, 20000, 11)
+	mc, err := montecarlo.Run(context.Background(), d, 20000, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestResizeCommitMatchesFullReanalysis(t *testing.T) {
 		if n == 0 {
 			t.Fatalf("gate %d: nothing recomputed", gid)
 		}
-		full, err := Analyze(d, a.DT)
+		full, err := Analyze(context.Background(), d, a.DT)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,10 +237,10 @@ func TestOverlaySubstitutesPerturbedDelay(t *testing.T) {
 
 func TestAnalyzeValidation(t *testing.T) {
 	d := newDesign(t, "c17")
-	if _, err := Analyze(d, 0); err == nil {
+	if _, err := Analyze(context.Background(), d, 0); err == nil {
 		t.Error("expected error for dt=0")
 	}
-	if _, err := Analyze(d, -1); err == nil {
+	if _, err := Analyze(context.Background(), d, -1); err == nil {
 		t.Error("expected error for negative dt")
 	}
 }

@@ -12,10 +12,18 @@
 // optimizer whose perturbation-bound pruning delivers identical results
 // at a fraction of the cost.
 //
+// The entry point is the Engine: a long-lived, concurrency-safe session
+// that binds a cell library and analysis defaults once and then serves
+// any number of requests. Optimizers are pluggable by name (see
+// Optimizers and RegisterOptimizer), all long-running methods take a
+// context.Context, and optimization always runs on a private clone of
+// the caller's design.
+//
 // Quick start:
 //
-//	d, _ := statsize.Benchmark("c432")
-//	res, _ := statsize.OptimizeAccelerated(d, statsize.Config{MaxIterations: 100})
+//	eng, _ := statsize.New()
+//	d, _ := eng.Benchmark("c432")
+//	res, _ := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(100))
 //	fmt.Printf("p99 %.3f -> %.3f ns (+%.1f%% area)\n",
 //		res.InitialObjective, res.FinalObjective, res.AreaIncrease())
 //
@@ -24,6 +32,7 @@
 package statsize
 
 import (
+	"context"
 	"io"
 
 	"statsize/internal/cell"
@@ -51,7 +60,8 @@ type (
 	// Config controls an optimization run; its zero value follows the
 	// paper's protocol (99-percentile objective, Δw steps, pruning on).
 	Config = core.Config
-	// Result summarizes an optimization run.
+	// Result summarizes an optimization run; Result.Design is the sized
+	// design (a private clone when the run went through an Engine).
 	Result = core.Result
 	// IterRecord is one sizing iteration of a Result.
 	IterRecord = core.IterRecord
@@ -87,20 +97,11 @@ func DefaultLibrary() *Library { return cell.Default180nm() }
 // Benchmark builds a minimum-sized design for a named benchmark: "c17"
 // is the genuine embedded ISCAS'85 netlist; c432..c7552 are structural
 // replicas matching the paper's Table 1 node/edge counts exactly.
+//
+// Deprecated: use Engine.Benchmark, which additionally caches the
+// elaborated circuit across calls.
 func Benchmark(name string) (*Design, error) {
-	lib := cell.Default180nm()
-	if name == "c17" {
-		return design.New(netlist.C17(lib), lib)
-	}
-	sp, ok := circuitgen.ByName(name)
-	if !ok {
-		return nil, &UnknownCircuitError{Name: name}
-	}
-	nl, err := circuitgen.Generate(lib, sp)
-	if err != nil {
-		return nil, err
-	}
-	return design.New(nl, lib)
+	return defaultEngine().Benchmark(name)
 }
 
 // BenchmarkNames lists the replica suite in Table 1 order (excluding the
@@ -115,24 +116,18 @@ func (e *UnknownCircuitError) Error() string {
 }
 
 // GenerateCircuit builds a design from a custom synthetic circuit spec.
+//
+// Deprecated: use Engine.GenerateCircuit.
 func GenerateCircuit(sp CircuitSpec) (*Design, error) {
-	lib := cell.Default180nm()
-	nl, err := circuitgen.Generate(lib, sp)
-	if err != nil {
-		return nil, err
-	}
-	return design.New(nl, lib)
+	return defaultEngine().GenerateCircuit(sp)
 }
 
 // LoadBench parses an ISCAS .bench netlist and returns a minimum-sized
 // design over the default library.
+//
+// Deprecated: use Engine.LoadBench.
 func LoadBench(r io.Reader, name string) (*Design, error) {
-	lib := cell.Default180nm()
-	nl, err := netlist.ParseBench(r, name, lib)
-	if err != nil {
-		return nil, err
-	}
-	return design.New(nl, lib)
+	return defaultEngine().LoadBench(r, name)
 }
 
 // NewDesign binds an existing netlist to a library at minimum widths.
@@ -146,13 +141,18 @@ func AnalyzeSTA(d *Design) *STAResult { return sta.Analyze(d) }
 // AnalyzeSSTA runs statistical static timing analysis with the given
 // grid resolution (bins across the estimated circuit delay; 600 is the
 // experiments' default).
+//
+// Deprecated: use Engine.AnalyzeSSTA, which takes a context and the
+// engine's configured resolution.
 func AnalyzeSSTA(d *Design, bins int) (*Analysis, error) {
-	return ssta.Analyze(d, d.SuggestDT(bins))
+	return ssta.Analyze(context.Background(), d, d.SuggestDT(bins))
 }
 
 // MonteCarlo samples the exact circuit-delay distribution.
+//
+// Deprecated: use Engine.MonteCarlo, which takes a context.
 func MonteCarlo(d *Design, samples int, seed int64) (*MCResult, error) {
-	return montecarlo.Run(d, samples, seed)
+	return montecarlo.Run(context.Background(), d, samples, seed)
 }
 
 // PathHistogram computes the exact path-count-versus-delay histogram
@@ -162,23 +162,32 @@ func PathHistogram(d *Design, binWidth float64) *PathHistogramResult {
 }
 
 // OptimizeDeterministic runs the corner-based critical-path coordinate
-// descent baseline of Section 4.
+// descent baseline of Section 4 on a clone of d; the sized design is
+// Result.Design.
+//
+// Deprecated: use Engine.Optimize with the "deterministic" optimizer.
 func OptimizeDeterministic(d *Design, cfg Config) (*Result, error) {
-	return core.Deterministic(d, cfg)
+	return defaultEngine().Optimize(context.Background(), d, "deterministic", WithConfig(cfg))
 }
 
 // OptimizeBruteForce runs exact statistical sizing with a full SSTA pass
-// per candidate gate per iteration (Section 3.1).
+// per candidate gate per iteration (Section 3.1) on a clone of d; the
+// sized design is Result.Design.
+//
+// Deprecated: use Engine.Optimize with the "brute-force" optimizer.
 func OptimizeBruteForce(d *Design, cfg Config) (*Result, error) {
-	return core.BruteForce(d, cfg)
+	return defaultEngine().Optimize(context.Background(), d, "brute-force", WithConfig(cfg))
 }
 
 // OptimizeAccelerated runs the paper's pruning algorithm (Figures 6, 7
-// and 9): results identical to OptimizeBruteForce at a small fraction of
-// the cost (the paper reports up to 56x; EXPERIMENTS.md records 6-176x
+// and 9) on a clone of d; the sized design is Result.Design. Results are
+// identical to OptimizeBruteForce at a small fraction of the cost (the
+// paper reports up to 56x; EXPERIMENTS.md records the factors measured
 // on this implementation, growing with circuit size).
+//
+// Deprecated: use Engine.Optimize with the "accelerated" optimizer.
 func OptimizeAccelerated(d *Design, cfg Config) (*Result, error) {
-	return core.Accelerated(d, cfg)
+	return defaultEngine().Optimize(context.Background(), d, "accelerated", WithConfig(cfg))
 }
 
 // GaussAnalysis is a moment-propagation SSTA pass (the related-work
@@ -201,8 +210,10 @@ func TopPaths(d *Design, k int) []TimingPath {
 
 // Criticality estimates per-gate critical-path probabilities by Monte
 // Carlo (indexed by gate ID).
+//
+// Deprecated: use Engine.Criticality, which takes a context.
 func Criticality(d *Design, samples int, seed int64) ([]float64, error) {
-	return montecarlo.Criticality(d, samples, seed)
+	return montecarlo.Criticality(context.Background(), d, samples, seed)
 }
 
 // CorrModel describes spatially correlated intra-die variation for
@@ -212,6 +223,8 @@ type CorrModel = montecarlo.CorrModel
 // MonteCarloCorrelated samples the circuit delay under spatially
 // correlated variation — the effect the paper's independence-based bound
 // explicitly does not model (Section 2); use it to quantify that gap.
+//
+// Deprecated: use Engine.MonteCarloCorrelated, which takes a context.
 func MonteCarloCorrelated(d *Design, samples int, seed int64, m CorrModel) (*MCResult, error) {
-	return montecarlo.RunCorrelated(d, samples, seed, m)
+	return montecarlo.RunCorrelated(context.Background(), d, samples, seed, m)
 }

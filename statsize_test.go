@@ -52,6 +52,7 @@ func TestEndToEndQuickstart(t *testing.T) {
 	if p99 <= det.CircuitDelay() {
 		t.Error("p99 should exceed nominal delay")
 	}
+	widthBefore := d.TotalWidth()
 	res, err := OptimizeAccelerated(d, Config{MaxIterations: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +60,15 @@ func TestEndToEndQuickstart(t *testing.T) {
 	if res.FinalObjective >= res.InitialObjective {
 		t.Error("optimization did not improve p99")
 	}
-	mc, err := MonteCarlo(d, 2000, 1)
+	// The optimizer works on a clone: the caller's design is untouched
+	// and the sized design is Result.Design.
+	if d.TotalWidth() != widthBefore {
+		t.Error("OptimizeAccelerated mutated the caller's design")
+	}
+	if res.Design == nil || res.Design.TotalWidth() <= widthBefore {
+		t.Fatal("Result.Design does not carry the sized clone")
+	}
+	mc, err := MonteCarlo(res.Design, 2000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
