@@ -10,6 +10,7 @@ package statsize
 import (
 	"context"
 	"fmt"
+	"sort"
 	"testing"
 
 	"statsize/internal/core"
@@ -148,6 +149,21 @@ func BenchmarkSizingIteration(b *testing.B) {
 	}
 }
 
+// runAccelerated drives one accelerated run over a session on d — the
+// ablation benchmarks reach past the facade to toggle Config knobs the
+// RunOptions intentionally do not expose.
+func runAccelerated(b *testing.B, d *Design, cfg Config) {
+	b.Helper()
+	s, err := core.OpenSession(context.Background(), d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := core.Accelerated(context.Background(), s, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkAblationPruning quantifies the value of the paper's pruning
 // bound: the same accelerated machinery with pruning disabled.
 func BenchmarkAblationPruning(b *testing.B) {
@@ -167,9 +183,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 				b.StopTimer()
 				fresh := d.Clone()
 				b.StartTimer()
-				if _, err := core.Accelerated(context.Background(), fresh, cfg); err != nil {
-					b.Fatal(err)
-				}
+				runAccelerated(b, fresh, cfg)
 			}
 		})
 	}
@@ -194,9 +208,7 @@ func BenchmarkAblationElision(b *testing.B) {
 				b.StopTimer()
 				fresh := d.Clone()
 				b.StartTimer()
-				if _, err := core.Accelerated(context.Background(), fresh, cfg); err != nil {
-					b.Fatal(err)
-				}
+				runAccelerated(b, fresh, cfg)
 			}
 		})
 	}
@@ -217,6 +229,116 @@ func BenchmarkGridResolution(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// sessionBenchGate picks the mid-level gate with the median structural
+// perturbation cone — the representative "mid-circuit resize" the
+// incremental-commit benchmarks exercise.
+func sessionBenchGate(b *testing.B, d *Design) (GateID, int) {
+	b.Helper()
+	g := d.E.G
+	lo, hi := g.MaxLevel()*2/5, g.MaxLevel()*3/5
+	type cand struct {
+		gate GateID
+		cone int
+	}
+	var cands []cand
+	for gi := 0; gi < d.NL.NumGates(); gi++ {
+		lvl := g.Level(d.E.NodeOf[d.NL.Gate(GateID(gi)).Out])
+		if lvl < lo || lvl > hi {
+			continue
+		}
+		cands = append(cands, cand{GateID(gi), len(resizeCone(d, GateID(gi)))})
+	}
+	if len(cands) == 0 {
+		b.Fatal("no mid-level gates")
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cone < cands[j].cone })
+	mid := cands[len(cands)/2]
+	return mid.gate, mid.cone
+}
+
+// BenchmarkSessionResize measures one incremental session commit for a
+// mid-circuit resize: wall time plus the nodes actually recomputed,
+// against the full-pass node count. Pair with BenchmarkFullReanalyze
+// for the incremental-commit win the Session API exists to deliver.
+func BenchmarkSessionResize(b *testing.B) {
+	for _, name := range []string{"c880", "c1908"} {
+		b.Run(name, func(b *testing.B) {
+			eng, err := New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := eng.Benchmark(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			s, err := eng.Open(ctx, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			gate, _ := sessionBenchGate(b, d)
+			w, err := s.Width(gate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Toggle between two widths so every iteration commits a
+				// real perturbation.
+				next := w + 0.5
+				if i%2 == 1 {
+					next = w
+				}
+				if _, err := s.Resize(ctx, gate, next); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st, err := s.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(st.NodesRecomputed)/float64(st.Resizes), "nodes/resize")
+			b.ReportMetric(100*float64(st.NodesRecomputed)/float64(st.Resizes)/float64(st.TotalNodes), "%full-pass")
+		})
+	}
+}
+
+// BenchmarkFullReanalyze is the baseline BenchmarkSessionResize beats: a
+// from-scratch SSTA pass after the same resize, which recomputes every
+// node and rebuilds every edge-delay distribution.
+func BenchmarkFullReanalyze(b *testing.B) {
+	for _, name := range []string{"c880", "c1908"} {
+		b.Run(name, func(b *testing.B) {
+			eng, err := New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := eng.Benchmark(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gate, _ := sessionBenchGate(b, d)
+			w := d.Width(gate)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next := w + 0.5
+				if i%2 == 1 {
+					next = w
+				}
+				d.SetWidth(gate, next)
+				if _, err := AnalyzeSSTA(d, 600); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(d.E.G.NumNodes()-1), "nodes/resize")
+			b.ReportMetric(100, "%full-pass")
 		})
 	}
 }

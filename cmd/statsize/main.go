@@ -1,13 +1,17 @@
 // Command statsize sizes a single circuit with any registered optimizer
 // and reports the timing before and after, optionally dumping a
-// per-iteration trace and validating with Monte Carlo. Ctrl-C cancels
-// the run and reports the partial trace sized so far.
+// per-iteration trace and validating with Monte Carlo. The run drives
+// an incremental timing session: width commits re-propagate only the
+// perturbed region of the timing graph, and the session accounting
+// (nodes recomputed versus a full SSTA pass) is reported at the end.
+// Ctrl-C cancels the run and reports the partial trace sized so far.
 //
 // Usage:
 //
 //	statsize -circuit c432 -optimizer accelerated -iters 100
 //	statsize -bench mydesign.bench -optimizer brute-force -iters 20 -trace
 //	statsize -circuit c880 -optimizer deterministic -area-cap 0.25
+//	statsize -circuit c432 -whatif 10
 //	statsize -list
 package main
 
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
 	"statsize"
@@ -45,6 +50,7 @@ func main() {
 	multi := flag.Int("multi", 1, "gates sized per iteration")
 	heuristic := flag.Int("heuristic-levels", 0, "approximate mode: stop fronts after N levels")
 	trace := flag.Bool("trace", false, "print a per-iteration trace table")
+	whatif := flag.Int("whatif", 0, "before optimizing, rank the top N gates by exact what-if sensitivity")
 	mcSamples := flag.Int("mc", 0, "validate the result with N Monte Carlo samples")
 	flag.Parse()
 
@@ -63,14 +69,14 @@ func main() {
 		}
 	}
 	if err := run(ctx, *circuit, *bench, name, *iters, *bins, *areaCap, *percentile,
-		*multi, *heuristic, *trace, *mcSamples); err != nil {
+		*multi, *heuristic, *trace, *whatif, *mcSamples); err != nil {
 		fmt.Fprintln(os.Stderr, "statsize:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, circuit, bench, optimizer string, iters, bins int,
-	areaCap, percentile float64, multi, heuristic int, trace bool, mcSamples int) error {
+	areaCap, percentile float64, multi, heuristic int, trace bool, whatif, mcSamples int) error {
 	eng, err := statsize.New(
 		statsize.WithBins(bins),
 		statsize.WithObjective(statsize.Percentile(percentile)),
@@ -103,7 +109,21 @@ func run(ctx context.Context, circuit, bench, optimizer string, iters, bins int,
 	fmt.Printf("circuit: %v\n", d.NL)
 	fmt.Printf("nominal delay (min size): %.4f ns\n", nominal)
 
-	res, err := eng.Optimize(ctx, d, optimizer,
+	// One session serves the what-if ranking and the optimizer run: the
+	// initial SSTA pass is paid once, everything after is incremental.
+	s, err := eng.Open(ctx, d)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	if whatif > 0 {
+		if err := rankWhatIf(ctx, s, whatif); err != nil {
+			return err
+		}
+	}
+
+	res, err := eng.OptimizeSession(ctx, s, optimizer,
 		statsize.MaxIterations(iters),
 		statsize.MaxAreaIncrease(areaCap),
 		statsize.MultiSize(multi),
@@ -121,6 +141,10 @@ func run(ctx context.Context, circuit, bench, optimizer string, iters, bins int,
 		100*percentile, res.InitialObjective, res.FinalObjective, res.Improvement())
 	fmt.Printf("total gate size: %.1f -> %.1f  (+%.1f%%)\n",
 		res.InitialWidth, res.FinalWidth, res.AreaIncrease())
+	if st, err := s.Stats(); err == nil && st.Resizes > 0 {
+		fmt.Printf("incremental commits: %d resizes touching %.0f nodes each on average (full SSTA pass = %d nodes)\n",
+			st.Resizes, float64(st.NodesRecomputed)/float64(st.Resizes), st.TotalNodes)
+	}
 
 	if trace && len(res.Records) > 0 {
 		t := report.NewTable("per-iteration trace",
@@ -151,4 +175,49 @@ func run(ctx context.Context, circuit, bench, optimizer string, iters, bins int,
 			percentile*100, mcSamples, p, 100*(res.FinalObjective-p)/p)
 	}
 	return nil
+}
+
+// rankWhatIf evaluates the exact objective sensitivity of one width
+// step for every candidate gate — the session's uncommitted what-if
+// query — and prints the top n.
+func rankWhatIf(ctx context.Context, s *statsize.Session, n int) error {
+	type row struct {
+		gate statsize.GateID
+		r    statsize.WhatIfResult
+	}
+	var rows []row
+	for g := 0; g < s.NumGates(); g++ {
+		gid := statsize.GateID(g)
+		w, err := s.Width(gid)
+		if err != nil {
+			return err
+		}
+		r, err := s.WhatIf(ctx, gid, w+0.5)
+		if err != nil {
+			return err
+		}
+		if r.Sensitivity > 0 {
+			rows = append(rows, row{gid, r})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].r.Sensitivity != rows[j].r.Sensitivity {
+			return rows[i].r.Sensitivity > rows[j].r.Sensitivity
+		}
+		return rows[i].gate < rows[j].gate
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	t := report.NewTable("what-if ranking (uncommitted, exact)",
+		"gate", "sensitivity", "objective if sized (ns)", "nodes touched")
+	for _, r := range rows {
+		t.AddRowStrings(
+			fmt.Sprint(r.gate),
+			fmt.Sprintf("%.5g", r.r.Sensitivity),
+			fmt.Sprintf("%.4f", r.r.Objective),
+			fmt.Sprint(r.r.NodesVisited),
+		)
+	}
+	return t.Render(os.Stdout)
 }

@@ -1,8 +1,9 @@
 // Command timingreport prints a full timing report for one circuit:
 // deterministic critical paths, statistical percentiles from three
 // engines (discretized SSTA, Gaussian moment propagation, Monte Carlo),
-// per-gate criticalities, and the effect of spatial correlation that the
-// paper's bound does not model.
+// per-gate criticalities from both Monte Carlo sampling and the
+// session's backward required-time pass (statistical slack), and the
+// effect of spatial correlation that the paper's bound does not model.
 //
 // Usage:
 //
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 
 	"statsize"
 	"statsize/internal/netlist"
@@ -62,8 +64,15 @@ func run(ctx context.Context, circuit, bench string, paths, samples, bins int, c
 	det := eng.AnalyzeSTA(d)
 	fmt.Printf("\nnominal circuit delay: %.4f ns\n", det.CircuitDelay())
 
-	// Three statistical views of the same circuit.
-	a, err := eng.AnalyzeSSTA(ctx, d)
+	// Three statistical views of the same circuit. The discretized SSTA
+	// numbers come from an incremental timing session: its one full pass
+	// also backs the statistical-slack table further down.
+	s, err := eng.Open(ctx, d)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	sink, err := s.SinkDist()
 	if err != nil {
 		return err
 	}
@@ -75,9 +84,9 @@ func run(ctx context.Context, circuit, bench string, paths, samples, bins int, c
 	t := report.NewTable("\nstatistical circuit delay (ns)",
 		"engine", "mean", "p50", "p99")
 	t.AddRowStrings("discretized SSTA (paper)",
-		fmt.Sprintf("%.4f", a.SinkDist().Mean()),
-		fmt.Sprintf("%.4f", a.Percentile(0.5)),
-		fmt.Sprintf("%.4f", a.Percentile(0.99)))
+		fmt.Sprintf("%.4f", sink.Mean()),
+		fmt.Sprintf("%.4f", sink.Percentile(0.5)),
+		fmt.Sprintf("%.4f", sink.Percentile(0.99)))
 	t.AddRowStrings("Gaussian moments (related work)",
 		fmt.Sprintf("%.4f", ga.Sink().Mean),
 		fmt.Sprintf("%.4f", ga.Percentile(0.5)),
@@ -150,6 +159,47 @@ func run(ctx context.Context, circuit, bench string, paths, samples, bins int, c
 	fmt.Printf("gates with nonzero criticality: %d of %d (why the paper computes sensitivities for all gates)\n",
 		len(crit)-countZero(crit), len(crit))
 
+	// The same ranking without sampling: statistical slack from the
+	// session's backward required-time pass, measured against the mean
+	// circuit delay. P(slack<=0) near 0.5 marks the statistically
+	// critical paths.
+	if err := s.SetDeadline(sink.Mean()); err != nil {
+		return err
+	}
+	var sranked []gc
+	for g := 0; g < s.NumGates(); g++ {
+		c, err := s.Criticality(ctx, netlist.GateID(g))
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			sranked = append(sranked, gc{g, c})
+		}
+	}
+	sort.Slice(sranked, func(i, j int) bool {
+		if sranked[i].c != sranked[j].c {
+			return sranked[i].c > sranked[j].c
+		}
+		return sranked[i].gate < sranked[j].gate
+	})
+	if len(sranked) > topCrit {
+		sranked = sranked[:topCrit]
+	}
+	st := report.NewTable(fmt.Sprintf("\ntop %d gates by statistical slack (no sampling; deadline = mean delay)", topCrit),
+		"gate", "cell", "output net", "P(slack<=0)", "mean slack (ns)")
+	for _, r := range sranked {
+		g := d.NL.Gate(netlist.GateID(r.gate))
+		sl, err := s.Slack(ctx, netlist.GateID(r.gate))
+		if err != nil {
+			return err
+		}
+		st.AddRowStrings(fmt.Sprint(r.gate), g.Kind.String(), d.NL.NetName(g.Out),
+			fmt.Sprintf("%.3f", r.c), fmt.Sprintf("%.4f", sl.Mean()))
+	}
+	if err := st.Render(os.Stdout); err != nil {
+		return err
+	}
+
 	// Spatial correlation study.
 	if corr > 0 {
 		cm := statsize.CorrModel{GlobalFrac: corr * 0.6, RegionFrac: corr * 0.4}
@@ -159,7 +209,7 @@ func run(ctx context.Context, circuit, bench string, paths, samples, bins int, c
 		}
 		fmt.Printf("\nspatial correlation study (%.0f%% shared variance):\n", corr*100)
 		fmt.Printf("  independent MC p99: %.4f ns | correlated MC p99: %.4f ns | SSTA bound: %.4f ns\n",
-			mc.Percentile(0.99), cmc.Percentile(0.99), a.Percentile(0.99))
+			mc.Percentile(0.99), cmc.Percentile(0.99), sink.Percentile(0.99))
 		fmt.Printf("  correlation widens the tail by %.2f%%; the paper's bound does not model this (Section 2)\n",
 			100*(cmc.Percentile(0.99)-mc.Percentile(0.99))/mc.Percentile(0.99))
 	}

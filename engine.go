@@ -9,6 +9,7 @@ import (
 
 	"statsize/internal/cell"
 	"statsize/internal/circuitgen"
+	"statsize/internal/core"
 	"statsize/internal/design"
 	"statsize/internal/montecarlo"
 	"statsize/internal/netlist"
@@ -255,10 +256,26 @@ func (e *Engine) buildConfig(opts []RunOption) Config {
 	return cfg
 }
 
+// Open starts an incremental timing session on a private clone of d:
+// one full SSTA pass at the resolved grid, then every query (sink
+// distribution, percentiles, per-gate arrival, statistical slack and
+// criticality via the backward required-time pass) and every mutation
+// (incremental Resize, uncommitted WhatIf, Checkpoint/Rollback) runs
+// against that live analysis. The caller's design is never mutated.
+//
+// The session is safe for concurrent use — calls serialize on an
+// internal lock — and must be Closed when done. Run options resolve the
+// grid resolution and objective exactly as Optimize does, so a session
+// opened and optimized with the same options sees the same numbers.
+func (e *Engine) Open(ctx context.Context, d *Design, opts ...RunOption) (*Session, error) {
+	return core.OpenSession(ctx, d.Clone(), e.buildConfig(opts))
+}
+
 // Optimize sizes a clone of d with the named optimizer (see Optimizers
 // for the registry) under the engine's defaults adjusted by run
-// options. The caller's design is never mutated; the sized clone is
-// Result.Design.
+// options: it opens a session over the clone, runs the strategy against
+// it, and closes the session. The caller's design is never mutated; the
+// sized clone is Result.Design.
 //
 // Cancellation via ctx is honored between iterations and between
 // candidate evaluations: the partial Result — committed iterations, the
@@ -269,7 +286,33 @@ func (e *Engine) Optimize(ctx context.Context, d *Design, optimizer string, opts
 	if err != nil {
 		return nil, err
 	}
-	return o.Optimize(ctx, d.Clone(), e.buildConfig(opts))
+	cfg := e.buildConfig(opts)
+	s, err := core.OpenSession(ctx, d.Clone(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return o.Optimize(ctx, s, cfg)
+}
+
+// OptimizeSession runs the named optimizer against a caller-held
+// session, so one long-lived session can interleave queries, what-ifs,
+// manual resizes, checkpoints and full optimizer runs. The optimizer
+// acquires the session exclusively for the duration of the run;
+// concurrent session calls block until it returns. Result.Design is the
+// session's live design — snapshot it (Session.Snapshot) if the session
+// keeps mutating afterwards.
+//
+// The run uses the analysis grid the session was opened at: grid
+// options (WithConfig's Bins or DT) are construction-time parameters
+// and are ignored here — pass them to Engine.Open instead. All other
+// run options (iterations, area cap, objective, ...) apply normally.
+func (e *Engine) OptimizeSession(ctx context.Context, s *Session, optimizer string, opts ...RunOption) (*Result, error) {
+	o, err := lookupOptimizer(optimizer)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(ctx, s, e.buildConfig(opts))
 }
 
 // SuiteResult is one circuit's outcome within OptimizeSuite.

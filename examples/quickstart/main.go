@@ -1,6 +1,8 @@
-// Quickstart: build an engine, load a benchmark, inspect its
-// statistical timing, run the paper's accelerated statistical gate
-// sizer, and validate the result with Monte Carlo.
+// Quickstart: open an incremental timing session on a benchmark, query
+// its statistical timing (percentiles, slack, criticality), evaluate
+// what-if resizes without committing, run the paper's accelerated
+// statistical gate sizer against the same session, and validate the
+// result with Monte Carlo.
 //
 //	go run ./examples/quickstart
 package main
@@ -16,8 +18,8 @@ import (
 func main() {
 	ctx := context.Background()
 
-	// An Engine is a long-lived, concurrency-safe session: library and
-	// analysis defaults bound once, then any number of requests.
+	// An Engine is the long-lived entry point: library and analysis
+	// defaults bound once, then any number of requests.
 	eng, err := statsize.New(
 		statsize.WithBins(600),
 		statsize.WithObjective(statsize.Percentile(0.99)),
@@ -38,30 +40,81 @@ func main() {
 	nominal := eng.AnalyzeSTA(d).CircuitDelay()
 	fmt.Printf("nominal circuit delay: %.4f ns\n", nominal)
 
-	// Statistical timing: with 10%-sigma intra-die variation the
-	// 99-percentile delay sits well above nominal.
-	a, err := eng.AnalyzeSSTA(ctx, d)
+	// Open a session: one full SSTA pass up front, every query and
+	// mutation incremental from here on. The session owns a private
+	// clone; d itself is never touched.
+	s, err := eng.Open(ctx, d)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("statistical delay: mean %.4f ns, p99 %.4f ns\n",
-		a.SinkDist().Mean(), a.Percentile(0.99))
+	defer s.Close()
 
-	// Size gates with the accelerated statistical optimizer. Each
-	// iteration finds the gate whose upsizing most improves the p99
-	// delay — using perturbation-bound pruning instead of a full SSTA
-	// run per candidate. The run works on a private clone; d itself is
-	// untouched and the sized design comes back in res.Design.
-	res, err := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(60))
+	sink, _ := s.SinkDist()
+	p99, _ := s.Percentile(0.99)
+	fmt.Printf("statistical delay: mean %.4f ns, p99 %.4f ns\n", sink.Mean(), p99)
+
+	// Statistical slack and criticality per gate, from the backward
+	// required-time pass — no Monte Carlo needed. Measure against the
+	// mean circuit delay as the deadline: gates with P(slack<=0) near
+	// 0.5 sit on the statistically critical paths.
+	if err := s.SetDeadline(sink.Mean()); err != nil {
+		log.Fatal(err)
+	}
+	best, bestCrit := statsize.GateID(-1), 0.0
+	for g := 0; g < s.NumGates(); g++ {
+		crit, err := s.Criticality(ctx, statsize.GateID(g))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if crit > bestCrit {
+			best, bestCrit = statsize.GateID(g), crit
+		}
+	}
+	fmt.Printf("most critical gate: %d (P(slack<=0) = %.2f)\n", best, bestCrit)
+
+	// What-if: the exact p99 sensitivity of upsizing that gate, via
+	// perturbation propagation — nothing is committed.
+	w, _ := s.Width(best)
+	wi, err := s.WhatIf(ctx, best, w+0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("what-if gate %d at width %.1f: p99 %.4f -> %.4f ns (%d of %d nodes touched)\n",
+		best, wi.Width, p99, wi.Objective, wi.NodesVisited, s.NumGates())
+
+	// Commit it transactionally: checkpoint, resize incrementally, and
+	// keep the rollback handle in case we change our mind.
+	if _, err := s.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	rs, err := s.Resize(ctx, best, w+0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed: p99 %.4f ns, %d nodes recomputed (full pass = %d)\n",
+		rs.Objective, rs.NodesRecomputed, rs.FullPassNodes)
+
+	// Run the paper's accelerated statistical optimizer against the same
+	// session. Each iteration finds the gate whose upsizing most
+	// improves the p99 delay — using perturbation-bound pruning instead
+	// of a full SSTA run per candidate — and commits it incrementally.
+	res, err := eng.OptimizeSession(ctx, s, "accelerated", statsize.MaxIterations(60))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after %d sizing iterations: p99 %.4f -> %.4f ns (%.1f%% better, +%.1f%% area)\n",
 		res.Iterations, res.InitialObjective, res.FinalObjective,
 		res.Improvement(), res.AreaIncrease())
+	st, _ := s.Stats()
+	fmt.Printf("session totals: %d resizes, %.0f nodes recomputed per commit on average (full pass = %d)\n",
+		st.Resizes, float64(st.NodesRecomputed)/float64(st.Resizes), st.TotalNodes)
 
 	// Monte Carlo confirms the SSTA bound tracked the true distribution.
-	mc, err := eng.MonteCarlo(ctx, res.Design, 5000, 42)
+	sized, err := s.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := eng.MonteCarlo(ctx, sized, 5000, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

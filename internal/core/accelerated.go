@@ -5,10 +5,10 @@ import (
 	"context"
 	"sort"
 
-	"statsize/internal/design"
 	"statsize/internal/dist"
 	"statsize/internal/graph"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/ssta"
 )
 
@@ -28,8 +28,8 @@ import (
 // its exact sensitivity updates Max_S; any front whose bound falls below
 // Max_S is discarded without further propagation. The surviving argmax
 // is identical to the brute-force result.
-func Accelerated(ctx context.Context, d *design.Design, cfg Config) (*Result, error) {
-	return statisticalDescent(ctx, d, cfg, "accelerated", acceleratedIteration)
+func Accelerated(ctx context.Context, s *session.Session, cfg Config) (*Result, error) {
+	return statisticalDescent(ctx, s, cfg, "accelerated", acceleratedIteration)
 }
 
 // front is the A'set bookkeeping of one candidate gate (Figure 7/9): the
@@ -60,7 +60,7 @@ type front struct {
 // through the candidate gate's own level exactly as Initialize does.
 func newFront(a *ssta.Analysis, cfg Config, x netlist.GateID) (*front, error) {
 	d := a.D
-	delays, err := perturbedDelays(a, x, d.Width(x)+d.Lib.DeltaW)
+	delays, err := a.PerturbedDelays(x, d.Width(x)+d.Lib.DeltaW)
 	if err != nil {
 		return nil, err
 	}

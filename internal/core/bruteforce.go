@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"time"
 
-	"statsize/internal/design"
 	"statsize/internal/dist"
 	"statsize/internal/graph"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/ssta"
 )
 
@@ -18,37 +18,46 @@ import (
 // O(N·E)-per-iteration reference the accelerated algorithm is measured
 // against in Table 2, and the ground truth its results must match
 // exactly.
-func BruteForce(ctx context.Context, d *design.Design, cfg Config) (*Result, error) {
-	return statisticalDescent(ctx, d, cfg, "brute-force", bruteForceIteration)
+func BruteForce(ctx context.Context, s *session.Session, cfg Config) (*Result, error) {
+	return statisticalDescent(ctx, s, cfg, "brute-force", bruteForceIteration)
 }
 
 // statisticalDescent is the outer coordinate-descent loop shared by the
-// brute-force and accelerated sizers: analyze once, then per iteration
-// find the most sensitive gates via `inner`, size them up, and commit
-// incrementally. The previous iteration's winner is passed down as a
+// brute-force and accelerated sizers, driving a session: per iteration
+// it finds the most sensitive gates via `inner` over the session's live
+// analysis, then sizes them up through the session's incremental
+// commit. The previous iteration's winner is passed down as a
 // warm-start hint — the paper notes that identifying a high-sensitivity
 // gate early lets it prune many inferior candidates, and the just-sized
 // gate is usually still near the top. The hint only reorders evaluation;
 // results are unchanged.
 //
+// The session is acquired exclusively for the whole run, so concurrent
+// session calls block until it finishes. The run uses the analysis grid
+// the session was opened at; cfg.Bins and cfg.DT are construction-time
+// parameters (see OpenSession) and are ignored here.
+//
 // The context is checked between iterations and between candidate
 // evaluations inside `inner`. On cancellation the Result built so far —
-// every committed iteration, a consistent design state, the partial
+// every committed iteration, a consistent session state, the partial
 // trace — is returned alongside an error wrapping context.Canceled (or
 // DeadlineExceeded), so a canceled run is still a usable, smaller run.
 func statisticalDescent(
 	ctx context.Context,
-	d *design.Design,
+	s *session.Session,
 	cfg Config,
 	method string,
 	inner func(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error),
 ) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	a, err := ssta.Analyze(ctx, d, gridFor(d, cfg))
+	tx, err := s.Acquire()
 	if err != nil {
 		return nil, err
 	}
+	defer tx.Release()
+	a := tx.Analysis()
+	d := tx.Design()
 	res := &Result{
 		Method:           method,
 		InitialWidth:     d.TotalWidth(),
@@ -89,8 +98,10 @@ func statisticalDescent(
 			if p.sens <= cfg.Tolerance {
 				continue
 			}
-			d.SetWidth(p.gate, d.Width(p.gate)+d.Lib.DeltaW)
-			if _, err := a.ResizeCommit(p.gate); err != nil {
+			if _, err := tx.Resize(ctx, p.gate, d.Width(p.gate)+d.Lib.DeltaW); err != nil {
+				if ctx.Err() != nil {
+					return partial(ctx.Err())
+				}
 				return nil, err
 			}
 			sized = append(sized, p.gate)
@@ -174,7 +185,7 @@ func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base
 func bruteSinkDist(a *ssta.Analysis, gid netlist.GateID) (*dist.Dist, int, error) {
 	d := a.D
 	g := d.E.G
-	delays, err := perturbedDelays(a, gid, d.Width(gid)+d.Lib.DeltaW)
+	delays, err := a.PerturbedDelays(gid, d.Width(gid)+d.Lib.DeltaW)
 	if err != nil {
 		return nil, 0, err
 	}

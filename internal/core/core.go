@@ -23,24 +23,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"statsize/internal/design"
 	"statsize/internal/dist"
-	"statsize/internal/graph"
 	"statsize/internal/netlist"
-	"statsize/internal/ssta"
+	"statsize/internal/session"
 )
 
 // Objective maps the circuit-delay distribution at the sink to the
 // scalar being minimized. The perturbation-bound theory holds for any
 // objective that cannot improve by more than the maximum percentile
-// improvement Δ — true for every percentile and for the mean.
-type Objective interface {
-	Eval(sink *dist.Dist) float64
-	String() string
-}
+// improvement Δ — true for every percentile and for the mean. It is the
+// same interface sessions are opened with, so one objective value
+// configures both.
+type Objective = session.Objective
 
 // Percentile is the p-quantile objective; the paper uses 0.99.
 type Percentile float64
@@ -151,10 +150,12 @@ type Result struct {
 	Iterations       int
 	Records          []IterRecord
 	Elapsed          time.Duration
-	// Design is the design the optimizer sized: the argument itself at
-	// this layer, or the private clone when the run went through an
-	// Engine. On cancellation it holds the partially sized state that
-	// the trace in Records describes.
+	// Design is the design the optimizer sized: the session-owned design
+	// (a private clone when the run went through an Engine). On
+	// cancellation it holds the partially sized state that the trace in
+	// Records describes. When the session outlives the run, later session
+	// mutations keep writing to it — snapshot via Session.Snapshot for an
+	// independent copy.
 	Design *design.Design
 }
 
@@ -191,36 +192,22 @@ func candidateGates(d *design.Design) []netlist.GateID {
 	return out
 }
 
-// perturbedDelays returns the delay distributions that change when gate
-// x is resized to w — the pin edges of x and of the drivers of x's input
-// nets (Figure 7, step 1). The base design is restored bit-exactly.
-func perturbedDelays(a *ssta.Analysis, x netlist.GateID, w float64) (map[graph.EdgeID]*dist.Dist, error) {
-	d := a.D
-	out := make(map[graph.EdgeID]*dist.Dist)
-	err := d.WithWidth(x, w, func() error {
-		for _, gid := range ssta.AffectedGates(d, x) {
-			for _, eid := range d.E.GateEdges[gid] {
-				dd, err := d.EdgeDelayDist(a.DT, eid)
-				if err != nil {
-					return err
-				}
-				out[eid] = dd
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
 // gridFor resolves the analysis grid from the config.
 func gridFor(d *design.Design, cfg Config) float64 {
 	if cfg.DT > 0 {
 		return cfg.DT
 	}
 	return d.SuggestDT(cfg.Bins)
+}
+
+// OpenSession opens an incremental timing session over d at the grid
+// and objective the config resolves to — the single construction path
+// shared by the Engine facade, the experiment harness and the tests, so
+// an optimizer driven through a session opened here sees exactly the
+// analysis it used to build for itself.
+func OpenSession(ctx context.Context, d *design.Design, cfg Config) (*session.Session, error) {
+	cfg = cfg.withDefaults()
+	return session.Open(ctx, d, gridFor(d, cfg), cfg.Objective)
 }
 
 // areaCapReached reports whether the configured relative area budget is

@@ -9,6 +9,7 @@ import (
 	"statsize/internal/circuitgen"
 	"statsize/internal/design"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/ssta"
 )
 
@@ -51,6 +52,20 @@ func smallDesign(t testing.TB, seed int64) *design.Design {
 	return d
 }
 
+// runOn opens a session over d (as the facade does) and runs the
+// optimizer against it — the one-line bridge the pre-session tests
+// drove the design-taking signatures with.
+func runOn(t testing.TB, d *design.Design, cfg Config,
+	opt func(context.Context, *session.Session, Config) (*Result, error)) (*Result, error) {
+	t.Helper()
+	s, err := OpenSession(context.Background(), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return opt(context.Background(), s, cfg)
+}
+
 func TestObjectives(t *testing.T) {
 	d := newDesign(t, "c17")
 	a, err := ssta.Analyze(context.Background(), d, d.SuggestDT(500))
@@ -71,7 +86,7 @@ func TestObjectives(t *testing.T) {
 
 func TestDeterministicImproves(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Deterministic(context.Background(), d, Config{MaxIterations: 25})
+	res, err := runOn(t, d, Config{MaxIterations: 25}, Deterministic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +108,7 @@ func TestDeterministicImproves(t *testing.T) {
 
 func TestAcceleratedImproves(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 20})
+	res, err := runOn(t, d, Config{MaxIterations: 20}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +153,11 @@ func TestAcceleratedMatchesBruteForceTrajectories(t *testing.T) {
 				db, da = smallDesign(t, 2), smallDesign(t, 2)
 			}
 			cfg := Config{MaxIterations: tc.iters}
-			rb, err := BruteForce(context.Background(), db, cfg)
+			rb, err := runOn(t, db, cfg, BruteForce)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ra, err := Accelerated(context.Background(), da, cfg)
+			ra, err := runOn(t, da, cfg, Accelerated)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -212,7 +227,7 @@ func TestFrontBoundDominatesSensitivity(t *testing.T) {
 
 func TestMaxIterationsHonored(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 3})
+	res, err := runOn(t, d, Config{MaxIterations: 3}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +238,7 @@ func TestMaxIterationsHonored(t *testing.T) {
 
 func TestAreaCapHonored(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 1000, MaxAreaIncrease: 0.10})
+	res, err := runOn(t, d, Config{MaxIterations: 1000, MaxAreaIncrease: 0.10}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +249,7 @@ func TestAreaCapHonored(t *testing.T) {
 
 func TestMultiSize(t *testing.T) {
 	d := smallDesign(t, 4)
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 5, MultiSize: 3})
+	res, err := runOn(t, d, Config{MaxIterations: 5, MultiSize: 3}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +266,7 @@ func TestMultiSize(t *testing.T) {
 
 func TestHeuristicMode(t *testing.T) {
 	d := smallDesign(t, 5)
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 10, HeuristicLevels: 3})
+	res, err := runOn(t, d, Config{MaxIterations: 10, HeuristicLevels: 3}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +280,7 @@ func TestHeuristicMode(t *testing.T) {
 
 func TestMeanObjective(t *testing.T) {
 	d := smallDesign(t, 6)
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 8, Objective: Mean{}})
+	res, err := runOn(t, d, Config{MaxIterations: 8, Objective: Mean{}}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,11 +294,11 @@ func TestDisableAblationsStillExact(t *testing.T) {
 	// front-based brute force; results must be unchanged.
 	d1 := smallDesign(t, 7)
 	d2 := smallDesign(t, 7)
-	r1, err := Accelerated(context.Background(), d1, Config{MaxIterations: 6})
+	r1, err := runOn(t, d1, Config{MaxIterations: 6}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Accelerated(context.Background(), d2, Config{MaxIterations: 6, DisablePruning: true, DisableDeadFrontElision: true})
+	r2, err := runOn(t, d2, Config{MaxIterations: 6, DisablePruning: true, DisableDeadFrontElision: true}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,12 +346,12 @@ func TestTopK(t *testing.T) {
 func TestTraceCallback(t *testing.T) {
 	d := newDesign(t, "c17")
 	calls := 0
-	_, err := Accelerated(context.Background(), d, Config{MaxIterations: 4, OnIteration: func(r IterRecord) {
+	_, err := runOn(t, d, Config{MaxIterations: 4, OnIteration: func(r IterRecord) {
 		calls++
 		if r.TotalWidth <= 0 || r.Objective <= 0 {
 			t.Error("bad trace record")
 		}
-	}})
+	}}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}

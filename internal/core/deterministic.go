@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"time"
 
-	"statsize/internal/design"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/sta"
 )
 
@@ -20,10 +20,18 @@ import (
 //
 // The reported per-iteration Objective is the nominal circuit delay; the
 // experiment harness reruns SSTA on the resulting designs to obtain the
-// 99-percentile values Table 1 compares.
-func Deterministic(ctx context.Context, d *design.Design, cfg Config) (*Result, error) {
+// 99-percentile values Table 1 compares. Sizing commits go through the
+// session, so its statistical view (sink distribution, slack queries)
+// stays live while this nominal-only baseline runs.
+func Deterministic(ctx context.Context, s *session.Session, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	tx, err := s.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Release()
+	d := tx.Design()
 	res := &Result{
 		Method:       "deterministic",
 		InitialWidth: d.TotalWidth(),
@@ -69,7 +77,15 @@ func Deterministic(ctx context.Context, d *design.Design, cfg Config) (*Result, 
 			break
 		}
 		gid := netlist.GateID(bestGate)
-		d.SetWidth(gid, d.Width(gid)+d.Lib.DeltaW)
+		if _, err := tx.Resize(ctx, gid, d.Width(gid)+d.Lib.DeltaW); err != nil {
+			if ctx.Err() != nil {
+				res.FinalWidth = d.TotalWidth()
+				res.Elapsed = time.Since(start)
+				return res, fmt.Errorf("core: deterministic optimization interrupted after %d iterations: %w",
+					res.Iterations, ctx.Err())
+			}
+			return nil, err
+		}
 		after := sta.Analyze(d).CircuitDelay()
 
 		rec := IterRecord{

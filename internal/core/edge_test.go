@@ -18,7 +18,7 @@ func TestAllGatesAtMaxWidth(t *testing.T) {
 	for g := 0; g < d.NL.NumGates(); g++ {
 		d.SetWidth(netlist.GateID(g), d.Lib.WMax)
 	}
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 5})
+	res, err := runOn(t, d, Config{MaxIterations: 5}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestSaturationMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 100})
+	res, err := runOn(t, d, Config{MaxIterations: 100}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestSaturationMidRun(t *testing.T) {
 // With a huge tolerance nothing is ever worth sizing.
 func TestToleranceStopsImmediately(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 10, Tolerance: 1e9})
+	res, err := runOn(t, d, Config{MaxIterations: 10, Tolerance: 1e9}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestDeterministicSaturated(t *testing.T) {
 	for g := 0; g < d.NL.NumGates(); g++ {
 		d.SetWidth(netlist.GateID(g), d.Lib.WMax)
 	}
-	res, err := Deterministic(context.Background(), d, Config{MaxIterations: 5})
+	res, err := runOn(t, d, Config{MaxIterations: 5}, Deterministic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestZeroSigmaStatisticalRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 6, Bins: 2000})
+	res, err := runOn(t, d, Config{MaxIterations: 6, Bins: 2000}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestExplicitGridOverride(t *testing.T) {
 // fanin load penalty dominates); the optimizer must never commit one.
 func TestNeverCommitsNegativeSensitivity(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 40})
+	res, err := runOn(t, d, Config{MaxIterations: 40}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +168,11 @@ func TestFrontDrainsCompletely(t *testing.T) {
 func TestWarmStartExactness(t *testing.T) {
 	d1 := smallDesign(t, 14)
 	d2 := smallDesign(t, 14)
-	r1, err := Accelerated(context.Background(), d1, Config{MaxIterations: 12})
+	r1, err := runOn(t, d1, Config{MaxIterations: 12}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Accelerated(context.Background(), d2, Config{MaxIterations: 12, DisableWarmStart: true})
+	r2, err := runOn(t, d2, Config{MaxIterations: 12, DisableWarmStart: true}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestWarmStartExactness(t *testing.T) {
 // MultiSize beyond the candidate count must size what exists and stop.
 func TestMultiSizeOversized(t *testing.T) {
 	d := newDesign(t, "c17")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 2, MultiSize: 100})
+	res, err := runOn(t, d, Config{MaxIterations: 2, MultiSize: 100}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestMultiSizeOversized(t *testing.T) {
 // An area cap below one step stops immediately after at most one move.
 func TestTinyAreaCap(t *testing.T) {
 	d := newDesign(t, "c432")
-	res, err := Accelerated(context.Background(), d, Config{MaxIterations: 100, MaxAreaIncrease: 1e-9})
+	res, err := runOn(t, d, Config{MaxIterations: 100, MaxAreaIncrease: 1e-9}, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestTinyAreaCap(t *testing.T) {
 func TestObjectivesImproveThemselves(t *testing.T) {
 	for _, obj := range []Objective{Percentile(0.5), Percentile(0.99), Mean{}} {
 		d := smallDesign(t, 9)
-		res, err := Accelerated(context.Background(), d, Config{MaxIterations: 10, Objective: obj})
+		res, err := runOn(t, d, Config{MaxIterations: 10, Objective: obj}, Accelerated)
 		if err != nil {
 			t.Fatal(err)
 		}

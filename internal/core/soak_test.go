@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"math"
 	"testing"
 )
@@ -17,11 +16,11 @@ func TestLongHorizonExactness(t *testing.T) {
 	db := newDesign(t, "c432")
 	da := newDesign(t, "c432")
 	cfg := Config{MaxIterations: 40}
-	rb, err := BruteForce(context.Background(), db, cfg)
+	rb, err := runOn(t, db, cfg, BruteForce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Accelerated(context.Background(), da, cfg)
+	ra, err := runOn(t, da, cfg, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +63,11 @@ func TestMultiSizeExactness(t *testing.T) {
 	db := smallDesign(t, 12)
 	da := smallDesign(t, 12)
 	cfg := Config{MaxIterations: 8, MultiSize: 3}
-	rb, err := BruteForce(context.Background(), db, cfg)
+	rb, err := runOn(t, db, cfg, BruteForce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Accelerated(context.Background(), da, cfg)
+	ra, err := runOn(t, da, cfg, Accelerated)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,6 +145,31 @@ func (d *Design) EdgeDelayDist(dt float64, e graph.EdgeID) (*dist.Dist, error) {
 	return d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[e], d.widths[g], d.loads[gate.Out])
 }
 
+// State is a snapshot of the mutable sizing state (widths, loads, total)
+// for checkpoint/rollback. It is valid only for the design it was taken
+// from.
+type State struct {
+	widths []float64
+	loads  []float64
+	total  float64
+}
+
+// Snapshot captures the current sizing state.
+func (d *Design) Snapshot() *State {
+	return &State{
+		widths: append([]float64(nil), d.widths...),
+		loads:  append([]float64(nil), d.loads...),
+		total:  d.total,
+	}
+}
+
+// Restore rewinds the sizing state to a snapshot taken from this design.
+func (d *Design) Restore(st *State) {
+	copy(d.widths, st.widths)
+	copy(d.loads, st.loads)
+	d.total = st.total
+}
+
 // Clone returns an independent copy sharing the immutable structure.
 func (d *Design) Clone() *Design {
 	c := *d

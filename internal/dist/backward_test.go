@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func gauss(t *testing.T, dt, mean, sigma float64) *Dist {
+	t.Helper()
+	d, err := TruncGauss(dt, mean, sigma, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNeg(t *testing.T) {
+	d := gauss(t, 0.01, 1.0, 0.1)
+	n := d.Neg()
+	if got, want := n.Mean(), -d.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Neg mean %v, want %v", got, want)
+	}
+	if got, want := n.Std(), d.Std(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Neg std %v, want %v", got, want)
+	}
+	// Double negation restores bit-exactly.
+	if !ApproxEqual(n.Neg(), d, 0) {
+		t.Error("Neg(Neg(d)) != d")
+	}
+	// Point masses reflect exactly.
+	p := Point(0.5, 2.0)
+	if got := p.Neg().Mean(); got != -2.0 {
+		t.Errorf("Neg point mean %v, want -2", got)
+	}
+}
+
+func TestSubConvolve(t *testing.T) {
+	a := gauss(t, 0.01, 2.0, 0.1)
+	b := gauss(t, 0.01, 0.5, 0.05)
+	d := SubConvolve(a, b)
+	if got, want := d.Mean(), a.Mean()-b.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SubConvolve mean %v, want %v", got, want)
+	}
+	wantVar := a.Std()*a.Std() + b.Std()*b.Std()
+	if got := d.Std() * d.Std(); math.Abs(got-wantVar) > 1e-9 {
+		t.Errorf("SubConvolve variance %v, want %v", got, wantVar)
+	}
+	// A - point(c) is a pure shift.
+	c := Point(0.01, 0.25)
+	s := SubConvolve(a, c)
+	if !ApproxEqual(s, a.ShiftBins(-25), 1e-15) {
+		t.Error("subtracting a point mass should shift bins")
+	}
+}
+
+// TestMinIndepAgainstEnumeration cross-checks MinIndep on small discrete
+// distributions against exhaustive enumeration of the joint.
+func TestMinIndepAgainstEnumeration(t *testing.T) {
+	a := &Dist{dt: 1, i0: 0, p: []float64{0.2, 0.3, 0.5}}
+	b := &Dist{dt: 1, i0: 1, p: []float64{0.6, 0.4}}
+	got := MinIndep(a, b)
+	// Enumerate P(min = k).
+	want := map[int]float64{}
+	for i, pa := range a.p {
+		for j, pb := range b.p {
+			k := a.i0 + i
+			if b.i0+j < k {
+				k = b.i0 + j
+			}
+			want[k] += pa * pb
+		}
+	}
+	for k, w := range want {
+		idx := k - got.I0()
+		var g float64
+		if idx >= 0 && idx < got.NumBins() {
+			g = got.MassAt(idx)
+		}
+		if math.Abs(g-w) > 1e-12 {
+			t.Errorf("P(min=%d) = %v, want %v", k, g, w)
+		}
+	}
+	total := 0.0
+	for k := 0; k < got.NumBins(); k++ {
+		total += got.MassAt(k)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("MinIndep mass %v, want 1", total)
+	}
+}
+
+func TestMinIndepDominance(t *testing.T) {
+	// A strictly earlier operand is returned as-is, bit for bit.
+	early := &Dist{dt: 1, i0: 0, p: []float64{0.5, 0.5}}
+	late := &Dist{dt: 1, i0: 10, p: []float64{1}}
+	if got := MinIndep(early, late); got != early {
+		t.Error("strictly-earlier operand should be returned unchanged")
+	}
+	if got := MinIndep(late, early); got != early {
+		t.Error("dominance must be symmetric")
+	}
+}
+
+// TestMinMaxDuality: min(A,B) = -max(-A,-B), exactly on the lattice.
+func TestMinMaxDuality(t *testing.T) {
+	a := gauss(t, 0.01, 1.0, 0.08)
+	b := gauss(t, 0.01, 1.05, 0.12)
+	viaMax := MaxIndep(a.Neg(), b.Neg()).Neg()
+	direct := MinIndep(a, b)
+	if !ApproxEqual(direct, viaMax, 1e-12) {
+		t.Error("MinIndep disagrees with the max-of-negations dual")
+	}
+}

@@ -252,6 +252,79 @@ func MaxIndep(a, b *Dist) *Dist {
 	return trim(a.dt, lo, out)
 }
 
+// Neg returns the distribution of the negated variable: mass at grid
+// point i moves to -i. Used to subtract independent variables by
+// convolution (A - B = A + (-B)).
+func (d *Dist) Neg() *Dist {
+	p := make([]float64, len(d.p))
+	for i, v := range d.p {
+		p[len(p)-1-i] = v
+	}
+	return &Dist{dt: d.dt, i0: -(d.i0 + len(d.p) - 1), p: p}
+}
+
+// SubConvolve returns the distribution of the difference A - B of two
+// independent variables — the backward-propagation step of required-time
+// analysis (required at a fanin = required at the fanout minus the edge
+// delay). Exact on the lattice: indices subtract.
+func SubConvolve(a, b *Dist) *Dist {
+	return Convolve(a, b.Neg())
+}
+
+// MinIndep returns the distribution of the minimum of two independent
+// variables — the fanout merge of backward required-time propagation:
+// the survival function of the result is the product of the operand
+// survival functions, evaluated bin by bin on the common grid.
+func MinIndep(a, b *Dist) *Dist {
+	// A strictly-earlier operand dominates outright: when one support
+	// ends at or before the other begins, the minimum IS the earlier
+	// operand — returned as-is, bit for bit (the mirror image of
+	// MaxIndep's shortcut).
+	if a.i0+len(a.p)-1 <= b.i0 {
+		return a
+	}
+	if b.i0+len(b.p)-1 <= a.i0 {
+		return b
+	}
+	lo := a.i0
+	if b.i0 < lo {
+		lo = b.i0
+	}
+	aHi, bHi := a.i0+len(a.p)-1, b.i0+len(b.p)-1
+	hi := aHi
+	if bHi < hi {
+		hi = bHi
+	}
+	out := make([]float64, hi-lo+1)
+	cumA := a.cdfBelow(lo)
+	cumB := b.cdfBelow(lo)
+	// P(min <= t) = 1 - (1-Fa)(1-Fb); accumulate mass per bin as the
+	// CDF difference, with the same snap-to-1 protection as MaxIndep.
+	prev := 1 - (1-cumA)*(1-cumB)
+	for i := lo; i <= hi; i++ {
+		if k := i - a.i0; k >= 0 && k < len(a.p) {
+			cumA += a.p[k]
+			if k == len(a.p)-1 && math.Abs(cumA-1) < probEps {
+				cumA = 1
+			}
+		}
+		if k := i - b.i0; k >= 0 && k < len(b.p) {
+			cumB += b.p[k]
+			if k == len(b.p)-1 && math.Abs(cumB-1) < probEps {
+				cumB = 1
+			}
+		}
+		cur := 1 - (1-cumA)*(1-cumB)
+		m := cur - prev
+		if m < 0 {
+			m = 0
+		}
+		out[i-lo] = m
+		prev = cur
+	}
+	return trim(a.dt, lo, out)
+}
+
 // cdfBelow returns the cumulative probability strictly before absolute
 // grid index i.
 func (d *Dist) cdfBelow(i int) float64 {

@@ -22,6 +22,7 @@ import (
 	"statsize/internal/core"
 	"statsize/internal/design"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/ssta"
 )
 
@@ -142,10 +143,10 @@ func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		detRes, err := core.Deterministic(ctx, dDet, core.Config{
+		detRes, err := runOnSession(ctx, dDet, core.Config{
 			MaxIterations: opts.Iterations,
 			Bins:          opts.Bins,
-		})
+		}, core.Deterministic)
 		if err != nil {
 			return nil, err
 		}
@@ -153,11 +154,11 @@ func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 		if iters == 0 {
 			iters = opts.Iterations
 		}
-		statRes, err := core.Accelerated(ctx, dStat, core.Config{
+		statRes, err := runOnSession(ctx, dStat, core.Config{
 			MaxIterations: iters,
 			Bins:          opts.Bins,
 			Objective:     core.Percentile(opts.Percentile),
-		})
+		}, core.Accelerated)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +183,25 @@ func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 		})
 	}
 	return rows, nil
+}
+
+// runOnSession opens an incremental timing session over d under cfg,
+// runs the optimizer against it, and closes the session — the harness's
+// bridge onto the session-driving optimizer signatures. The optimizer
+// sizes d itself (the session owns it directly, no clone), matching the
+// pre-session harness semantics.
+func runOnSession(
+	ctx context.Context,
+	d *design.Design,
+	cfg core.Config,
+	opt func(context.Context, *session.Session, core.Config) (*core.Result, error),
+) (*core.Result, error) {
+	s, err := core.OpenSession(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return opt(ctx, s, cfg)
 }
 
 // percentileOf runs a fresh SSTA pass on a design and evaluates the
@@ -223,7 +243,7 @@ func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 			return nil, err
 		}
 		cfg := core.Config{MaxIterations: opts.TimedIterations, Bins: opts.Bins}
-		bruteRes, err := core.BruteForce(ctx, dB, cfg)
+		bruteRes, err := runOnSession(ctx, dB, cfg, core.BruteForce)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +252,7 @@ func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		accelRes, err := core.Accelerated(ctx, dA, cfg)
+		accelRes, err := runOnSession(ctx, dA, cfg, core.Accelerated)
 		if err != nil {
 			return nil, err
 		}

@@ -46,7 +46,7 @@ func Figure10(ctx context.Context, circuit string, opts Options) (*Figure10Resul
 	}
 	opts.progress("figure10: %s deterministic", circuit)
 	detPoints, err := traceRun(ctx, dDet, opts, stride, func(cfg core.Config) (*core.Result, error) {
-		return core.Deterministic(ctx, dDet, cfg)
+		return runOnSession(ctx, dDet, cfg, core.Deterministic)
 	})
 	if err != nil {
 		return nil, err
@@ -59,7 +59,7 @@ func Figure10(ctx context.Context, circuit string, opts Options) (*Figure10Resul
 	}
 	opts.progress("figure10: %s statistical", circuit)
 	statPoints, err := traceRun(ctx, dStat, opts, stride, func(cfg core.Config) (*core.Result, error) {
-		return core.Accelerated(ctx, dStat, cfg)
+		return runOnSession(ctx, dStat, cfg, core.Accelerated)
 	})
 	if err != nil {
 		return nil, err
@@ -155,7 +155,7 @@ func Figure1(ctx context.Context, circuit string, opts Options) (*Figure1Result,
 		return nil, err
 	}
 	opts.progress("figure1: %s deterministic", circuit)
-	detRes, err := core.Deterministic(ctx, dDet, core.Config{MaxIterations: opts.Iterations, Bins: opts.Bins})
+	detRes, err := runOnSession(ctx, dDet, core.Config{MaxIterations: opts.Iterations, Bins: opts.Bins}, core.Deterministic)
 	if err != nil {
 		return nil, err
 	}
@@ -168,11 +168,11 @@ func Figure1(ctx context.Context, circuit string, opts Options) (*Figure1Result,
 		return nil, err
 	}
 	opts.progress("figure1: %s statistical", circuit)
-	statRes, err := core.Accelerated(ctx, dStat, core.Config{
+	statRes, err := runOnSession(ctx, dStat, core.Config{
 		MaxIterations: iters,
 		Bins:          opts.Bins,
 		Objective:     core.Percentile(opts.Percentile),
-	})
+	}, core.Accelerated)
 	if err != nil {
 		return nil, err
 	}
@@ -222,11 +222,11 @@ func Figure2(ctx context.Context, circuit string, opts Options) (*Figure2Result,
 	}
 	before := a.SinkDist()
 	p99Before := before.Percentile(opts.Percentile)
-	res, err := core.Accelerated(ctx, d, core.Config{
+	res, err := runOnSession(ctx, d, core.Config{
 		MaxIterations: 1,
 		Bins:          opts.Bins,
 		Objective:     core.Percentile(opts.Percentile),
-	})
+	}, core.Accelerated)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,84 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"statsize/internal/cell"
+)
+
+// FuzzParseBench throws arbitrary text at the .bench parser: malformed
+// declarations, duplicate definitions, undriven nets, absurd arities,
+// unterminated parentheses, NUL bytes. The contract under fuzzing is
+// that ParseBench either returns a netlist that elaborates cleanly or
+// returns an error — it must never panic and never build an
+// inconsistent netlist.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		// Well-formed c17-style netlist.
+		"INPUT(1)\nINPUT(2)\nINPUT(3)\nOUTPUT(22)\n22 = NAND(1, 2)\n",
+		// Comments and blank lines.
+		"# comment\n\nINPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+		// Duplicate driver.
+		"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = NOT(a)\n",
+		// Undriven net.
+		"INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n",
+		// Gate driving a primary input.
+		"INPUT(a)\nOUTPUT(a)\na = NOT(a)\n",
+		// Wide gate that decomposes.
+		"INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z)\nz = NAND(a, b, c, d, e)\n",
+		// Malformed lines.
+		"INPUT\n",
+		"INPUT()\n",
+		"z = \n",
+		"z = NAND(a,\n",
+		"z = NAND a, b)\n",
+		"= NAND(a, b)\n",
+		"z == NAND(a, b)\n",
+		"INPUT(a) OUTPUT(a)\n",
+		"z = UNKNOWN(a, b)\n",
+		"z = NAND()\n",
+		"z = NAND(,)\n",
+		"z = NAND(a, a)\n",
+		"\x00\nINPUT(\x00)\n",
+		"OUTPUT(z)\n",
+		"INPUT(a)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lib := cell.Default180nm()
+	f.Fuzz(func(t *testing.T, text string) {
+		nl, err := ParseBench(strings.NewReader(text), "fuzz", lib)
+		if err != nil {
+			return
+		}
+		// A successful parse must yield a consistent, finalized netlist
+		// that elaborates into a valid timing graph or reports a clean
+		// error (e.g. a combinational cycle).
+		if !nl.Finalized() {
+			t.Fatal("ParseBench returned a non-finalized netlist")
+		}
+		if nl.NumPIs() == 0 || nl.NumPOs() == 0 {
+			t.Fatal("finalized netlist missing PIs or POs")
+		}
+		if _, err := nl.Elaborate(); err != nil {
+			// Cycles and disconnected nodes are legitimate rejections —
+			// but they must be errors, not panics.
+			return
+		}
+		// Round-trip: writing and re-parsing must succeed and preserve
+		// the gate count.
+		var b strings.Builder
+		if err := nl.WriteBench(&b); err != nil {
+			t.Fatalf("WriteBench: %v", err)
+		}
+		nl2, err := ParseBench(strings.NewReader(b.String()), "fuzz2", lib)
+		if err != nil {
+			t.Fatalf("re-parse of WriteBench output failed: %v\noutput:\n%s", err, b.String())
+		}
+		if nl2.NumGates() != nl.NumGates() {
+			t.Fatalf("round trip changed gate count: %d -> %d", nl.NumGates(), nl2.NumGates())
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+)
+
+// pct is a local p-quantile objective (core's Percentile aliases the
+// same interface; the session package must not depend on core).
+type pct float64
+
+func (p pct) Eval(s *dist.Dist) float64 { return s.Percentile(float64(p)) }
+func (p pct) String() string            { return fmt.Sprintf("p%g", 100*float64(p)) }
+
+func open(t *testing.T) *Session {
+	t.Helper()
+	lib := cell.Default180nm()
+	d, err := design.New(netlist.C17(lib), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(context.Background(), d, d.SuggestDT(500), pct(0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestOpenValidation(t *testing.T) {
+	lib := cell.Default180nm()
+	d, err := design.New(netlist.C17(lib), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(context.Background(), d, d.SuggestDT(500), nil); err == nil {
+		t.Error("nil objective accepted")
+	}
+	if _, err := Open(context.Background(), d, -1, pct(0.99)); err == nil {
+		t.Error("negative grid accepted")
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Open(canceled, d, d.SuggestDT(500), pct(0.99)); !errors.Is(err, context.Canceled) {
+		t.Errorf("open with canceled ctx: %v", err)
+	}
+}
+
+func TestTxLifecycle(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+
+	tx, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objBefore := tx.Objective()
+	depth := tx.Checkpoint()
+	if depth != 1 {
+		t.Fatalf("depth %d", depth)
+	}
+	rs, err := tx.Resize(ctx, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.OldWidth != tx.Design().Lib.WMin || rs.NewWidth != 2 {
+		t.Errorf("resize widths %+v", rs)
+	}
+	if rs.NodesRecomputed <= 0 || rs.NodesRecomputed > rs.FullPassNodes {
+		t.Errorf("implausible recompute count %d", rs.NodesRecomputed)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Objective() != objBefore {
+		t.Error("rollback did not restore the objective")
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("err %v, want ErrNoCheckpoint", err)
+	}
+	tx.Release()
+
+	// The session is usable again after Release.
+	if _, err := s.Objective(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhatIfDoesNotCommit(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	sink0, err := s.SinkDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not every gate's perturbation reaches the sink (that pruning is
+	// the point), but at least one c17 gate must show a positive exact
+	// sensitivity.
+	bestSens := 0.0
+	for g := netlist.GateID(0); int(g) < s.NumGates(); g++ {
+		r, err := s.WhatIf(ctx, g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sensitivity > bestSens {
+			bestSens = r.Sensitivity
+		}
+		if r.NodesVisited <= 0 {
+			t.Errorf("gate %d: visited %d nodes", g, r.NodesVisited)
+		}
+	}
+	if bestSens <= 0 {
+		t.Error("no c17 gate has positive what-if sensitivity")
+	}
+	sink1, err := s.SinkDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink0 != sink1 {
+		t.Error("WhatIf mutated the analysis")
+	}
+	if w, _ := s.Width(0); w != s.tx.Design().Lib.WMin {
+		t.Error("WhatIf mutated the design")
+	}
+	// Clamped width: sensitivity denominator uses the applied width.
+	r2, err := s.WhatIf(ctx, 0, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Width != s.tx.Design().Lib.WMax {
+		t.Errorf("width %v not clamped to WMax", r2.Width)
+	}
+	// Resizing to the current width is a zero-sensitivity no-op.
+	r3, err := s.WhatIf(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Sensitivity != 0 || r3.Delta != 0 {
+		t.Errorf("no-op what-if reported %+v", r3)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	if _, err := s.WhatIf(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resize(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Slack(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{
+		Resizes:            1,
+		NodesRecomputed:    st.NodesRecomputed, // value checked below
+		LastResizeNodes:    st.LastResizeNodes,
+		WhatIfs:            1,
+		WhatIfNodesVisited: st.WhatIfNodesVisited,
+		RequiredPasses:     1,
+		Checkpoints:        1,
+		Rollbacks:          1,
+		TotalNodes:         st.TotalNodes,
+	}
+	if st != want {
+		t.Errorf("stats %+v, want %+v", st, want)
+	}
+	if st.NodesRecomputed <= 0 || st.WhatIfNodesVisited <= 0 || st.TotalNodes <= 0 {
+		t.Errorf("zero counters in %+v", st)
+	}
+}
+
+func TestDeadlineControlsSlack(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	// A generous deadline gives near-zero violation probability; an
+	// impossible one gives certainty.
+	if err := s.SetDeadline(1e6); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Criticality(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("criticality %v with an infinite deadline", c)
+	}
+	if err := s.SetDeadline(-1e6); err != nil {
+		t.Fatal(err)
+	}
+	c, err = s.Criticality(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1-1e-9 {
+		t.Errorf("criticality %v with an impossible deadline, want ~1", c)
+	}
+}
+
+// TestRollbackRestoresDeadline: the deadline setting is session state
+// and must travel with checkpoints — otherwise a rollback could serve a
+// restored required-time cache against a deadline configured later.
+func TestRollbackRestoresDeadline(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	if err := s.SetDeadline(-1e6); err != nil { // impossible: criticality 1
+		t.Fatal(err)
+	}
+	if c, err := s.Criticality(ctx, 0); err != nil || c < 1-1e-9 {
+		t.Fatalf("criticality %v err %v at impossible deadline", c, err)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDeadline(1e6); err != nil { // generous: criticality 0
+		t.Fatal(err)
+	}
+	if c, err := s.Criticality(ctx, 0); err != nil || c != 0 {
+		t.Fatalf("criticality %v err %v at generous deadline", c, err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Back at the checkpoint, the impossible deadline applies again.
+	if c, err := s.Criticality(ctx, 0); err != nil || c < 1-1e-9 {
+		t.Fatalf("criticality %v err %v after rollback, want ~1 (deadline not restored)", c, err)
+	}
+}
+
+func TestReanalyzeResync(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	tx, err := s.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Release()
+	// Mutate the design behind the analysis's back (what a legacy
+	// optimizer does), then resync.
+	tx.Design().SetWidth(1, 3)
+	if err := tx.Reanalyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ssta.Analyze(ctx, tx.Design(), tx.Analysis().DT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.ApproxEqual(tx.Analysis().SinkDist(), fresh.SinkDist(), 0) {
+		t.Error("Reanalyze did not resync the analysis")
+	}
+	if tx.Stats().FullReanalyses != 1 {
+		t.Errorf("FullReanalyses = %d", tx.Stats().FullReanalyses)
+	}
+}

@@ -1,0 +1,175 @@
+package session
+
+import (
+	"context"
+	"fmt"
+
+	"statsize/internal/design"
+	"statsize/internal/dist"
+	"statsize/internal/netlist"
+	"statsize/internal/ssta"
+)
+
+// Tx is the unlocked working view of an acquired session: the optimizer
+// inner loops and any caller that needs several queries and mutations to
+// happen without interleaving work through it. A Tx is only valid
+// between Acquire and Release on the goroutine that acquired it.
+type Tx struct {
+	s *Session
+}
+
+// Release unlocks the session. The Tx must not be used afterwards.
+func (t *Tx) Release() { t.s.mu.Unlock() }
+
+// Design returns the session-owned design. It remains owned by the
+// session: mutate widths only through Resize so the analysis stays
+// consistent (the legacy-optimizer adapter is the one sanctioned
+// exception, and it must call Reanalyze afterwards).
+func (t *Tx) Design() *design.Design { return t.s.d }
+
+// Analysis returns the live incremental analysis.
+func (t *Tx) Analysis() *ssta.Analysis { return t.s.a }
+
+// Objective evaluates the session objective on the current sink
+// distribution.
+func (t *Tx) Objective() float64 { return t.s.obj.Eval(t.s.a.SinkDist()) }
+
+// Resize commits gate g at width w: the design width changes (clamped
+// to the library range), the affected delay caches refresh, and the
+// arrival perturbation propagates incrementally — recomputing only the
+// nodes it actually reaches. On error, including cancellation mid
+// commit, the session is restored to its pre-call state, so a resize is
+// all-or-nothing.
+func (t *Tx) Resize(ctx context.Context, g netlist.GateID, w float64) (ResizeStats, error) {
+	s := t.s
+	if err := s.checkGate(g); err != nil {
+		return ResizeStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return ResizeStats{}, fmt.Errorf("session: resize canceled: %w", err)
+	}
+	oldW := s.d.Width(g)
+	// Pre-image for all-or-nothing semantics: O(nodes) pointer copies,
+	// cheap next to the recompute itself.
+	dSt, aSt := s.d.Snapshot(), s.a.Snapshot()
+	applied := s.d.SetWidth(g, w)
+	n, err := s.a.ResizeCommit(ctx, g)
+	if err != nil {
+		s.d.Restore(dSt)
+		s.a.Restore(aSt)
+		return ResizeStats{}, err
+	}
+	s.stats.Resizes++
+	s.stats.NodesRecomputed += n
+	s.stats.LastResizeNodes = n
+	return ResizeStats{
+		Gate:            g,
+		OldWidth:        oldW,
+		NewWidth:        applied,
+		NodesRecomputed: n,
+		FullPassNodes:   s.stats.TotalNodes,
+		Objective:       t.Objective(),
+	}, nil
+}
+
+// WhatIf evaluates resizing gate g to width w without committing: the
+// exact objective sensitivity from propagating the perturbation through
+// the graph with overlays, pruned where the perturbation dies out.
+// Neither the design nor the analysis changes.
+func (t *Tx) WhatIf(ctx context.Context, g netlist.GateID, w float64) (WhatIfResult, error) {
+	s := t.s
+	if err := s.checkGate(g); err != nil {
+		return WhatIfResult{}, err
+	}
+	base := t.Objective()
+	wEff := s.d.Lib.ClampWidth(w)
+	sink, visited, err := s.a.WhatIf(ctx, g, wEff)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	after := s.obj.Eval(sink)
+	res := WhatIfResult{
+		Gate:         g,
+		Width:        wEff,
+		Objective:    after,
+		Delta:        base - after,
+		NodesVisited: visited,
+	}
+	if dw := wEff - s.d.Width(g); dw != 0 {
+		res.Sensitivity = res.Delta / dw
+	}
+	s.stats.WhatIfs++
+	s.stats.WhatIfNodesVisited += visited
+	return res, nil
+}
+
+// Checkpoint pushes a restore point and returns the checkpoint depth
+// after the push. Checkpoints nest: each Rollback pops the most recent.
+func (t *Tx) Checkpoint() int {
+	s := t.s
+	s.marks = append(s.marks, mark{
+		d:           s.d.Snapshot(),
+		a:           s.a.Snapshot(),
+		deadline:    s.deadline,
+		hasDeadline: s.hasDeadline,
+	})
+	s.stats.Checkpoints++
+	return len(s.marks)
+}
+
+// Rollback pops the most recent checkpoint and restores design,
+// analysis and deadline setting to it; ErrNoCheckpoint when none is
+// pending. The deadline travels with the mark so a restored
+// required-time cache is never served against a deadline configured
+// after the checkpoint.
+func (t *Tx) Rollback() error {
+	s := t.s
+	if len(s.marks) == 0 {
+		return ErrNoCheckpoint
+	}
+	m := s.marks[len(s.marks)-1]
+	s.marks = s.marks[:len(s.marks)-1]
+	s.d.Restore(m.d)
+	s.a.Restore(m.a)
+	s.deadline = m.deadline
+	s.hasDeadline = m.hasDeadline
+	s.stats.Rollbacks++
+	return nil
+}
+
+// EnsureRequired makes a current backward required-time pass available,
+// running one if the cache was invalidated. The deadline is the
+// session's configured deadline, or the current objective value when
+// none was set.
+func (t *Tx) EnsureRequired(ctx context.Context) error {
+	s := t.s
+	if s.a.HasRequired() {
+		return nil
+	}
+	deadline := s.deadline
+	if !s.hasDeadline {
+		deadline = t.Objective()
+	}
+	if err := s.a.ComputeRequired(ctx, dist.Point(s.a.DT, deadline)); err != nil {
+		return err
+	}
+	s.stats.RequiredPasses++
+	return nil
+}
+
+// Reanalyze replaces the incremental analysis with a full SSTA pass at
+// the session grid — the resync path for the legacy optimizer adapter,
+// whose wrapped strategies mutate the design directly.
+func (t *Tx) Reanalyze(ctx context.Context) error {
+	s := t.s
+	a, err := ssta.Analyze(ctx, s.d, s.a.DT)
+	if err != nil {
+		return err
+	}
+	s.a = a
+	s.stats.FullReanalyses++
+	return nil
+}
+
+// Stats returns the cumulative session accounting.
+func (t *Tx) Stats() Stats { return t.s.stats }

@@ -60,7 +60,7 @@ func BenchmarkResizeCommitVsFull(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			g := netlist.GateID(i % d.NL.NumGates())
 			d.SetWidth(g, d.Width(g)+d.Lib.DeltaW)
-			if _, err := a.ResizeCommit(g); err != nil {
+			if _, err := a.ResizeCommit(context.Background(), g); err != nil {
 				b.Fatal(err)
 			}
 		}

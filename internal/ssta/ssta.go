@@ -39,6 +39,11 @@ type Analysis struct {
 
 	arrival []*dist.Dist
 	edge    []*dist.Dist // cached delay dists; nil for source/sink arcs
+
+	// Backward required-time state, computed on demand by
+	// ComputeRequired and invalidated by every arrival mutation.
+	required []*dist.Dist
+	deadline *dist.Dist
 }
 
 // Analyze runs a full statistical timing analysis on grid dt. The
@@ -178,8 +183,10 @@ func AffectedGates(d *design.Design, x netlist.GateID) []netlist.GateID {
 // resized in the design: refreshes the affected delay caches and
 // recomputes arrivals downstream, pruning nodes whose arrival is
 // unchanged. Returns the number of nodes recomputed (a measure of the
-// incremental saving versus a full pass).
-func (a *Analysis) ResizeCommit(x netlist.GateID) (int, error) {
+// incremental saving versus a full pass). The context is checked
+// periodically; on cancellation the analysis is left partially updated —
+// callers that need all-or-nothing semantics restore from a Snapshot.
+func (a *Analysis) ResizeCommit(ctx context.Context, x netlist.GateID) (int, error) {
 	g := a.D.E.G
 	affected := AffectedGates(a.D, x)
 	for _, gid := range affected {
@@ -187,6 +194,7 @@ func (a *Analysis) ResizeCommit(x netlist.GateID) (int, error) {
 			return 0, err
 		}
 	}
+	a.InvalidateRequired()
 	// Seed the worklist with the output nodes of all affected gates.
 	dirty := make(map[graph.NodeID]bool)
 	for _, gid := range affected {
@@ -196,6 +204,9 @@ func (a *Analysis) ResizeCommit(x netlist.GateID) (int, error) {
 	for _, n := range g.Topo() {
 		if !dirty[n] {
 			continue
+		}
+		if recomputed%cancelCheckStride == 0 && ctx.Err() != nil {
+			return recomputed, fmt.Errorf("ssta: resize commit canceled: %w", ctx.Err())
 		}
 		next := a.computeArrival(n, nil, nil)
 		recomputed++
@@ -208,4 +219,187 @@ func (a *Analysis) ResizeCommit(x netlist.GateID) (int, error) {
 		}
 	}
 	return recomputed, nil
+}
+
+// PerturbedDelays returns the delay distributions that change when gate
+// x is resized to w — the pin edges of x and of the drivers of x's input
+// nets (Figure 7, step 1). The base design is restored bit-exactly.
+func (a *Analysis) PerturbedDelays(x netlist.GateID, w float64) (map[graph.EdgeID]*dist.Dist, error) {
+	d := a.D
+	out := make(map[graph.EdgeID]*dist.Dist)
+	err := d.WithWidth(x, w, func() error {
+		for _, gid := range AffectedGates(d, x) {
+			for _, eid := range d.E.GateEdges[gid] {
+				dd, err := d.EdgeDelayDist(a.DT, eid)
+				if err != nil {
+					return err
+				}
+				out[eid] = dd
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WhatIf propagates the perturbation of resizing gate x to width w
+// through the timing graph without committing anything: neither the
+// design nor the analysis is mutated. It returns the perturbed sink
+// distribution and the number of nodes whose arrival was recomputed.
+// Nodes whose perturbed arrival matches the base bit for bit stop the
+// propagation on that branch (the same exact elision ResizeCommit and
+// the accelerated optimizer use), so the cost is the size of the true
+// perturbation cone, not the whole graph.
+func (a *Analysis) WhatIf(ctx context.Context, x netlist.GateID, w float64) (*dist.Dist, int, error) {
+	g := a.D.E.G
+	delays, err := a.PerturbedDelays(x, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	overlay := make(map[graph.NodeID]*dist.Dist)
+	dirty := make(map[graph.NodeID]bool)
+	for _, gid := range AffectedGates(a.D, x) {
+		dirty[a.D.E.NodeOf[a.D.NL.Gate(gid).Out]] = true
+	}
+	arrOverlay := func(n graph.NodeID) *dist.Dist { return overlay[n] }
+	delayOverlay := func(e graph.EdgeID) *dist.Dist { return delays[e] }
+	visited := 0
+	for _, n := range g.Topo() {
+		if !dirty[n] {
+			continue
+		}
+		if visited%cancelCheckStride == 0 && ctx.Err() != nil {
+			return nil, visited, fmt.Errorf("ssta: what-if canceled: %w", ctx.Err())
+		}
+		pert := a.computeArrival(n, arrOverlay, delayOverlay)
+		visited++
+		if dist.ApproxEqual(pert, a.arrival[n], 0) {
+			continue // perturbation died out on this branch
+		}
+		overlay[n] = pert
+		for _, eid := range g.Out(n) {
+			dirty[g.EdgeAt(eid).To] = true
+		}
+	}
+	if o := overlay[g.Sink()]; o != nil {
+		return o, visited, nil
+	}
+	return a.arrival[g.Sink()], visited, nil
+}
+
+// ComputeRequired runs the backward required-time pass: the deadline
+// distribution is imposed at the sink and propagated against the edge
+// direction — subtracting edge-delay distributions (SubConvolve) along
+// each fanout arc and merging fanouts with the independence minimum.
+// This is the mirror image of the forward arrival pass; with both in
+// hand, statistical slack and gate criticality become O(1) queries.
+//
+// Required times are cached until the next arrival mutation
+// (ResizeCommit) invalidates them.
+func (a *Analysis) ComputeRequired(ctx context.Context, deadline *dist.Dist) error {
+	g := a.D.E.G
+	req := make([]*dist.Dist, g.NumNodes())
+	topo := g.Topo()
+	req[g.Sink()] = deadline
+	for i := len(topo) - 1; i >= 0; i-- {
+		if i%cancelCheckStride == 0 && ctx.Err() != nil {
+			return fmt.Errorf("ssta: required-time pass canceled: %w", ctx.Err())
+		}
+		n := topo[i]
+		if n == g.Sink() {
+			continue
+		}
+		var acc *dist.Dist
+		for _, eid := range g.Out(n) {
+			t := req[g.EdgeAt(eid).To]
+			if dd := a.edge[eid]; dd != nil {
+				t = dist.SubConvolve(t, dd)
+			}
+			if acc == nil {
+				acc = t
+			} else {
+				acc = dist.MinIndep(acc, t)
+			}
+		}
+		req[n] = acc
+	}
+	a.required = req
+	a.deadline = deadline
+	return nil
+}
+
+// HasRequired reports whether a required-time pass is cached and
+// consistent with the current arrivals.
+func (a *Analysis) HasRequired() bool { return a.required != nil }
+
+// Deadline returns the sink deadline distribution of the cached
+// required-time pass, or nil when none is cached.
+func (a *Analysis) Deadline() *dist.Dist { return a.deadline }
+
+// Required returns the required-time distribution at a node, or nil
+// when no required-time pass is cached (call ComputeRequired first).
+func (a *Analysis) Required(n graph.NodeID) *dist.Dist {
+	if a.required == nil {
+		return nil
+	}
+	return a.required[n]
+}
+
+// Slack returns the statistical slack distribution at a node: the
+// distribution of required minus arrival, treating the two as
+// independent. Shared paths correlate them in reality, so tail
+// probabilities are approximate — but the sign structure (mass below
+// zero = probability the node violates the deadline) is the queryable
+// criticality signal the paper otherwise obtains from Monte Carlo.
+// Returns nil when no required-time pass is cached.
+func (a *Analysis) Slack(n graph.NodeID) *dist.Dist {
+	if a.required == nil {
+		return nil
+	}
+	return dist.SubConvolve(a.required[n], a.arrival[n])
+}
+
+// InvalidateRequired drops the cached backward pass; arrival mutations
+// call it internally, and sessions call it when the deadline changes.
+func (a *Analysis) InvalidateRequired() {
+	a.required = nil
+	a.deadline = nil
+}
+
+// State is an O(nodes) snapshot of the analysis for checkpoint/rollback:
+// distributions are immutable once computed, so the snapshot shares them
+// and only copies the index slices.
+type State struct {
+	arrival  []*dist.Dist
+	edge     []*dist.Dist
+	required []*dist.Dist
+	deadline *dist.Dist
+}
+
+// Snapshot captures the current analysis state.
+func (a *Analysis) Snapshot() *State {
+	st := &State{
+		arrival:  append([]*dist.Dist(nil), a.arrival...),
+		edge:     append([]*dist.Dist(nil), a.edge...),
+		deadline: a.deadline,
+	}
+	if a.required != nil {
+		st.required = append([]*dist.Dist(nil), a.required...)
+	}
+	return st
+}
+
+// Restore rewinds the analysis to a snapshot taken on the same design.
+func (a *Analysis) Restore(st *State) {
+	copy(a.arrival, st.arrival)
+	copy(a.edge, st.edge)
+	if st.required != nil {
+		a.required = append(a.required[:0], st.required...)
+	} else {
+		a.required = nil
+	}
+	a.deadline = st.deadline
 }

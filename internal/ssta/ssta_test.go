@@ -161,7 +161,7 @@ func TestResizeCommitMatchesFullReanalysis(t *testing.T) {
 	// Resize a handful of gates spread across the circuit.
 	for _, gid := range []netlist.GateID{0, 5, 17, 42, 99} {
 		d.SetWidth(gid, d.Width(gid)+d.Lib.DeltaW)
-		n, err := a.ResizeCommit(gid)
+		n, err := a.ResizeCommit(context.Background(), gid)
 		if err != nil {
 			t.Fatal(err)
 		}

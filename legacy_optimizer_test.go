@@ -1,0 +1,109 @@
+package statsize
+
+import (
+	"context"
+	"testing"
+
+	"statsize/internal/dist"
+	"statsize/internal/ssta"
+)
+
+// TestLegacyOptimizerAdapter proves the pre-Session optimizer call shape
+// still works end to end: an external strategy registered with the old
+// design-taking OptimizerFunc — exactly as third-party code wrote it
+// before the Session redesign — runs through Engine.Optimize and
+// Engine.OptimizeSession, actually resizes gates, and leaves the session
+// consistent (the adapter resynchronizes the analysis with a full pass,
+// visible in SessionStats.FullReanalyses).
+func TestLegacyOptimizerAdapter(t *testing.T) {
+	// A pre-existing registration: sizes up the first three gates by one
+	// step each, reporting through the classic Result fields. It knows
+	// nothing about sessions.
+	legacy := OptimizerFunc{
+		OptName: "legacy-three-step",
+		Run: func(ctx context.Context, d *Design, cfg Config) (*Result, error) {
+			res := &Result{Method: "legacy-three-step", Design: d, InitialWidth: d.TotalWidth()}
+			for g := GateID(0); g < 3; g++ {
+				d.SetWidth(g, d.Width(g)+d.Lib.DeltaW)
+			}
+			res.FinalWidth = d.TotalWidth()
+			return res, nil
+		},
+	}
+	if err := RegisterOptimizer(legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Through the one-shot path.
+	res, err := eng.Optimize(ctx, d, "legacy-three-step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "legacy-three-step" {
+		t.Fatalf("dispatched %q", res.Method)
+	}
+	if res.FinalWidth <= res.InitialWidth {
+		t.Error("legacy optimizer did not resize anything")
+	}
+	if res.Design.Width(0) != d.Width(0)+d.Lib.DeltaW {
+		t.Error("legacy optimizer's resize lost")
+	}
+	if d.Width(0) != d.Lib.WMin {
+		t.Error("caller's design mutated — clone contract broken")
+	}
+
+	// Through a caller-held session: the adapter must resync the live
+	// analysis, so post-run session queries see the resized circuit.
+	s, err := eng.Open(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before, err := s.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OptimizeSession(ctx, s, "legacy-three-step"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("session objective %v not improved from %v — analysis not resynced", after, before)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullReanalyses != 1 {
+		t.Errorf("adapter resync count = %d, want 1", st.FullReanalyses)
+	}
+	// The resynced analysis must equal a from-scratch pass bit for bit.
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ssta.Analyze(ctx, snap, s.DT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := s.SinkDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.ApproxEqual(sink, fresh.SinkDist(), 0) {
+		t.Error("session analysis inconsistent after legacy run")
+	}
+}

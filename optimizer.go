@@ -2,6 +2,7 @@ package statsize
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,23 +11,52 @@ import (
 	"statsize/internal/core"
 )
 
-// Optimizer is a pluggable gate-sizing strategy. Implementations size
-// the design they are given in place (the Engine hands them a private
-// clone) and must honor ctx, returning partial results wrapped around
-// the context error on cancellation.
+// Optimizer is a pluggable gate-sizing strategy. Implementations drive
+// the Session they are given — acquiring it, evaluating candidates
+// against its live analysis, and committing width changes through its
+// incremental Resize — and must honor ctx, returning partial results
+// wrapped around the context error on cancellation. Driving a session
+// rather than a bare design is what gives every strategy (including
+// external RegisterOptimizer plugins) incremental commits, transactional
+// checkpoints, cancellation and stats accounting for free.
 //
 // Strategies register once with RegisterOptimizer and are then
-// addressable by name through Engine.Optimize and Engine.OptimizeSuite,
-// so new algorithms — a future Gaussian-guided sizer, an ML proposal
-// distribution — plug in without touching the facade.
+// addressable by name through Engine.Optimize, Engine.OptimizeSession
+// and Engine.OptimizeSuite, so new algorithms — a future Gaussian-guided
+// sizer, an ML proposal distribution — plug in without touching the
+// facade.
 type Optimizer interface {
 	// Name is the registry key, lower-case and stable.
 	Name() string
-	// Optimize sizes d under cfg.
-	Optimize(ctx context.Context, d *Design, cfg Config) (*Result, error)
+	// Optimize sizes the session's design under cfg.
+	Optimize(ctx context.Context, s *Session, cfg Config) (*Result, error)
 }
 
-// OptimizerFunc adapts a function to the Optimizer interface.
+// SessionOptimizerFunc adapts a session-driving function to the
+// Optimizer interface.
+type SessionOptimizerFunc struct {
+	OptName string
+	Run     func(ctx context.Context, s *Session, cfg Config) (*Result, error)
+}
+
+// Name returns the registry key.
+func (o SessionOptimizerFunc) Name() string { return o.OptName }
+
+// Optimize runs the wrapped function.
+func (o SessionOptimizerFunc) Optimize(ctx context.Context, s *Session, cfg Config) (*Result, error) {
+	return o.Run(ctx, s, cfg)
+}
+
+// OptimizerFunc adapts a function with the pre-Session call shape — one
+// that sizes a *Design it owns outright — to the session-based Optimizer
+// interface: the wrapped function runs on the session's design under the
+// session lock, and the session's analysis is then resynchronized with a
+// full SSTA pass (counted in SessionStats.FullReanalyses), since a
+// legacy strategy cannot report incremental commits.
+//
+// Deprecated: implement Optimizer directly or use SessionOptimizerFunc;
+// session-driving strategies keep the analysis consistent incrementally
+// instead of paying a full re-analysis at the end.
 type OptimizerFunc struct {
 	OptName string
 	Run     func(ctx context.Context, d *Design, cfg Config) (*Result, error)
@@ -35,9 +65,24 @@ type OptimizerFunc struct {
 // Name returns the registry key.
 func (o OptimizerFunc) Name() string { return o.OptName }
 
-// Optimize runs the wrapped function.
-func (o OptimizerFunc) Optimize(ctx context.Context, d *Design, cfg Config) (*Result, error) {
-	return o.Run(ctx, d, cfg)
+// Optimize runs the wrapped legacy function on the session's design,
+// then resynchronizes the session's analysis.
+func (o OptimizerFunc) Optimize(ctx context.Context, s *Session, cfg Config) (*Result, error) {
+	tx, err := s.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Release()
+	res, runErr := o.Run(ctx, tx.Design(), cfg)
+	// Resync unconditionally: a failed or canceled legacy run may still
+	// have moved widths, and the session must stay consistent either way.
+	if syncErr := tx.Reanalyze(context.WithoutCancel(ctx)); syncErr != nil {
+		if runErr != nil {
+			return res, errors.Join(runErr, syncErr)
+		}
+		return res, fmt.Errorf("statsize: legacy optimizer %q ran but session resync failed: %w", o.OptName, syncErr)
+	}
+	return res, runErr
 }
 
 var optRegistry = struct {
@@ -102,23 +147,23 @@ func mustRegister(o Optimizer) {
 }
 
 func init() {
-	// The three optimizers of the paper.
-	mustRegister(OptimizerFunc{"deterministic", core.Deterministic})
-	mustRegister(OptimizerFunc{"brute-force", core.BruteForce})
-	mustRegister(OptimizerFunc{"accelerated", core.Accelerated})
+	// The three optimizers of the paper, session-driving natively.
+	mustRegister(SessionOptimizerFunc{"deterministic", core.Deterministic})
+	mustRegister(SessionOptimizerFunc{"brute-force", core.BruteForce})
+	mustRegister(SessionOptimizerFunc{"accelerated", core.Accelerated})
 	// The extensions the paper names as future work, exposed as
 	// first-class strategies with sensible defaults (both remain
 	// reachable through the accelerated optimizer's Config knobs too).
-	mustRegister(OptimizerFunc{"heuristic-levels", func(ctx context.Context, d *Design, cfg Config) (*Result, error) {
+	mustRegister(SessionOptimizerFunc{"heuristic-levels", func(ctx context.Context, s *Session, cfg Config) (*Result, error) {
 		if cfg.HeuristicLevels <= 0 {
 			cfg.HeuristicLevels = 4
 		}
-		return core.Accelerated(ctx, d, cfg)
+		return core.Accelerated(ctx, s, cfg)
 	}})
-	mustRegister(OptimizerFunc{"multi-size", func(ctx context.Context, d *Design, cfg Config) (*Result, error) {
+	mustRegister(SessionOptimizerFunc{"multi-size", func(ctx context.Context, s *Session, cfg Config) (*Result, error) {
 		if cfg.MultiSize <= 1 {
 			cfg.MultiSize = 3
 		}
-		return core.Accelerated(ctx, d, cfg)
+		return core.Accelerated(ctx, s, cfg)
 	}})
 }

@@ -12,23 +12,34 @@
 // optimizer whose perturbation-bound pruning delivers identical results
 // at a fraction of the cost.
 //
-// The entry point is the Engine: a long-lived, concurrency-safe session
-// that binds a cell library and analysis defaults once and then serves
-// any number of requests. Optimizers are pluggable by name (see
-// Optimizers and RegisterOptimizer), all long-running methods take a
-// context.Context, and optimization always runs on a private clone of
-// the caller's design.
+// The entry point is the Engine: long-lived and concurrency-safe, it
+// binds a cell library and analysis defaults once and then serves any
+// number of requests. The core abstraction under it is the Session —
+// an incremental timing view over one design: Engine.Open runs SSTA
+// once, and from then on queries (sink distribution, percentiles,
+// per-gate arrival, statistical slack and criticality via the backward
+// required-time pass), uncommitted what-ifs, incremental resizes and
+// Checkpoint/Rollback transactions all run against the live analysis.
+// Optimizers are pluggable by name (see Optimizers and
+// RegisterOptimizer) and drive sessions, all long-running methods take
+// a context.Context, and optimization always runs on a private clone
+// of the caller's design.
 //
 // Quick start:
 //
 //	eng, _ := statsize.New()
 //	d, _ := eng.Benchmark("c432")
-//	res, _ := eng.Optimize(ctx, d, "accelerated", statsize.MaxIterations(100))
+//	s, _ := eng.Open(ctx, d)
+//	defer s.Close()
+//	crit, _ := s.Criticality(ctx, gate)           // P(slack <= 0), no Monte Carlo
+//	wi, _ := s.WhatIf(ctx, gate, width)           // exact sensitivity, uncommitted
+//	rs, _ := s.Resize(ctx, gate, width)           // incremental commit
+//	res, _ := eng.OptimizeSession(ctx, s, "accelerated", statsize.MaxIterations(100))
 //	fmt.Printf("p99 %.3f -> %.3f ns (+%.1f%% area)\n",
 //		res.InitialObjective, res.FinalObjective, res.AreaIncrease())
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure.
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction of every table and figure.
 package statsize
 
 import (
@@ -43,6 +54,7 @@ import (
 	"statsize/internal/gauss"
 	"statsize/internal/montecarlo"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/ssta"
 	"statsize/internal/sta"
 )
@@ -87,6 +99,30 @@ type (
 	GateID = netlist.GateID
 	// NetID identifies a net within a netlist.
 	NetID = netlist.NetID
+	// Session is a stateful incremental timing view over one design: a
+	// live SSTA analysis that queries (arrival, slack, criticality),
+	// uncommitted what-ifs, incremental resizes and checkpoints all run
+	// against. Open one with Engine.Open.
+	Session = session.Session
+	// SessionTx is the locked transaction view of an acquired Session —
+	// what optimizers drive between Session.Acquire and Release.
+	SessionTx = session.Tx
+	// SessionStats is the cumulative accounting of a Session (resizes,
+	// nodes recomputed incrementally vs. a full pass, what-ifs, ...).
+	SessionStats = session.Stats
+	// ResizeStats describes one committed incremental resize.
+	ResizeStats = session.ResizeStats
+	// WhatIfResult describes one uncommitted candidate evaluation.
+	WhatIfResult = session.WhatIfResult
+)
+
+// Session error sentinels, re-exported for errors.Is checks.
+var (
+	// ErrSessionClosed is returned by every operation on a closed Session.
+	ErrSessionClosed = session.ErrClosed
+	// ErrNoCheckpoint is returned by Session.Rollback when no checkpoint
+	// is pending.
+	ErrNoCheckpoint = session.ErrNoCheckpoint
 )
 
 // DefaultLibrary returns the synthetic 180nm-style library used by all
