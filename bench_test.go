@@ -15,6 +15,7 @@ import (
 
 	"statsize/internal/core"
 	"statsize/internal/experiments"
+	"statsize/internal/ssta"
 )
 
 // benchOpts is the scaled-down experiment configuration used by the
@@ -396,5 +397,96 @@ func BenchmarkHeuristicMode(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWhatIfBatch is the acceptance benchmark for the
+// mutation-free parallel evaluation path: the serial WhatIf loop versus
+// one WhatIfBatch call over the same candidate sweep on c1908. "serial"
+// runs the historical one-lock-per-candidate loop on a
+// parallelism-1 engine; "batch4" is the acceptance configuration
+// (4 workers, expected ≥1.5x over serial); "batch" uses every core.
+// Results are bit-identical across all modes — only wall time moves.
+func BenchmarkWhatIfBatch(b *testing.B) {
+	modes := []struct {
+		name  string
+		par   int
+		batch bool
+	}{
+		{"serial", 1, false},
+		{"batch4", 4, true},
+		{"batch", 0, true},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name+"/c1908", func(b *testing.B) {
+			eng, err := New(WithParallelism(mode.par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := eng.Benchmark("c1908")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			s, err := eng.Open(ctx, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			numGates, err := s.NumGates()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cands := make([]Candidate, 0, numGates)
+			for g := 0; g < numGates; g++ {
+				gid := GateID(g)
+				w, err := s.Width(gid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cands = append(cands, Candidate{Gate: gid, Width: w + 0.5})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode.batch {
+					if _, err := s.WhatIfBatch(ctx, cands); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for _, c := range cands {
+						if _, err := s.WhatIf(ctx, c.Gate, c.Width); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(len(cands)), "candidates/op")
+		})
+	}
+}
+
+// BenchmarkAnalyzeParallel measures the level-parallel full SSTA pass
+// against the serial reference — the scaling behind session open and
+// legacy resync.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	for _, name := range []string{"c1908", "c6288"} {
+		d, err := Benchmark(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dt := d.SuggestDT(600)
+		for _, workers := range []int{1, 4, 0} {
+			label := fmt.Sprintf("%s/workers%d", name, workers)
+			if workers == 0 {
+				label = fmt.Sprintf("%s/workersMax", name)
+			}
+			b.Run(label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ssta.AnalyzeParallel(context.Background(), d, dt, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -178,26 +178,35 @@ func run(ctx context.Context, circuit, bench, optimizer string, iters, bins int,
 }
 
 // rankWhatIf evaluates the exact objective sensitivity of one width
-// step for every candidate gate — the session's uncommitted what-if
-// query — and prints the top n.
+// step for every candidate gate — one WhatIfBatch call fans the whole
+// sweep out across the engine's worker pool under a single session
+// lock acquisition — and prints the top n.
 func rankWhatIf(ctx context.Context, s *statsize.Session, n int) error {
-	type row struct {
-		gate statsize.GateID
-		r    statsize.WhatIfResult
+	numGates, err := s.NumGates()
+	if err != nil {
+		return err
 	}
-	var rows []row
-	for g := 0; g < s.NumGates(); g++ {
+	cands := make([]statsize.Candidate, 0, numGates)
+	for g := 0; g < numGates; g++ {
 		gid := statsize.GateID(g)
 		w, err := s.Width(gid)
 		if err != nil {
 			return err
 		}
-		r, err := s.WhatIf(ctx, gid, w+0.5)
-		if err != nil {
-			return err
-		}
+		cands = append(cands, statsize.Candidate{Gate: gid, Width: w + 0.5})
+	}
+	results, err := s.WhatIfBatch(ctx, cands)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		gate statsize.GateID
+		r    statsize.WhatIfResult
+	}
+	var rows []row
+	for i, r := range results {
 		if r.Sensitivity > 0 {
-			rows = append(rows, row{gid, r})
+			rows = append(rows, row{cands[i].Gate, r})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool {

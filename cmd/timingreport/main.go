@@ -166,8 +166,12 @@ func run(ctx context.Context, circuit, bench string, paths, samples, bins int, c
 	if err := s.SetDeadline(sink.Mean()); err != nil {
 		return err
 	}
+	numGates, err := s.NumGates()
+	if err != nil {
+		return err
+	}
 	var sranked []gc
-	for g := 0; g < s.NumGates(); g++ {
+	for g := 0; g < numGates; g++ {
 		c, err := s.Criticality(ctx, netlist.GateID(g))
 		if err != nil {
 			return err

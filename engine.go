@@ -62,8 +62,14 @@ func WithBins(n int) Option { return func(e *Engine) { e.bins = n } }
 // Percentile(0.99), the paper's.
 func WithObjective(o Objective) Option { return func(e *Engine) { e.objective = o } }
 
-// WithParallelism bounds the worker count of batch APIs such as
-// OptimizeSuite. The default is GOMAXPROCS.
+// WithParallelism bounds the worker count of every parallel path the
+// engine drives: batch APIs such as OptimizeSuite, the level-parallel
+// SSTA pass behind Open, Session.WhatIfBatch evaluation, and the
+// per-candidate sweeps inside the brute-force and accelerated
+// optimizers. The worker count never changes results — all parallel
+// evaluation is mutation-free and merges in deterministic order — only
+// how fast they arrive. The default is GOMAXPROCS; 1 forces fully
+// serial evaluation.
 func WithParallelism(n int) Option { return func(e *Engine) { e.parallelism = n } }
 
 // New builds an Engine from functional options.
@@ -188,9 +194,9 @@ func (e *Engine) NewDesign(nl *Netlist) (*Design, error) {
 func (e *Engine) AnalyzeSTA(d *Design) *STAResult { return sta.Analyze(d) }
 
 // AnalyzeSSTA runs statistical static timing analysis at the engine's
-// grid resolution.
+// grid resolution, level-parallel across the engine's worker bound.
 func (e *Engine) AnalyzeSSTA(ctx context.Context, d *Design) (*Analysis, error) {
-	return ssta.Analyze(ctx, d, d.SuggestDT(e.bins))
+	return ssta.AnalyzeParallel(ctx, d, d.SuggestDT(e.bins), e.parallelism)
 }
 
 // MonteCarlo samples the exact circuit-delay distribution.
@@ -252,6 +258,9 @@ func (e *Engine) buildConfig(opts []RunOption) Config {
 	}
 	if cfg.Bins <= 0 && cfg.DT <= 0 {
 		cfg.Bins = e.bins
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = e.parallelism
 	}
 	return cfg
 }

@@ -60,8 +60,12 @@ func main() {
 	if err := s.SetDeadline(sink.Mean()); err != nil {
 		log.Fatal(err)
 	}
+	numGates, err := s.NumGates()
+	if err != nil {
+		log.Fatal(err)
+	}
 	best, bestCrit := statsize.GateID(-1), 0.0
-	for g := 0; g < s.NumGates(); g++ {
+	for g := 0; g < numGates; g++ {
 		crit, err := s.Criticality(ctx, statsize.GateID(g))
 		if err != nil {
 			log.Fatal(err)
@@ -80,7 +84,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("what-if gate %d at width %.1f: p99 %.4f -> %.4f ns (%d of %d nodes touched)\n",
-		best, wi.Width, p99, wi.Objective, wi.NodesVisited, s.NumGates())
+		best, wi.Width, p99, wi.Objective, wi.NodesVisited, numGates)
 
 	// Commit it transactionally: checkpoint, resize incrementally, and
 	// keep the rollback handle in case we change our mind.

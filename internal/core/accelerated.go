@@ -8,6 +8,7 @@ import (
 	"statsize/internal/dist"
 	"statsize/internal/graph"
 	"statsize/internal/netlist"
+	"statsize/internal/par"
 	"statsize/internal/session"
 	"statsize/internal/ssta"
 )
@@ -216,20 +217,34 @@ func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, bas
 	deltaW := d.Lib.DeltaW
 	var ir innerResult
 
-	h := make(frontHeap, 0, d.NL.NumGates())
-	var hintFront *front
-	for _, gid := range candidateGates(d) {
-		if err := ctx.Err(); err != nil {
-			return ir, err
-		}
-		ir.considered++
-		f, err := newFront(a, cfg, gid)
+	// Front initialization is independent per candidate — each front owns
+	// its overlay maps and only reads the base analysis (PerturbedDelays
+	// is mutation-free) — so the fronts build concurrently. The merge
+	// below runs in candidate order, never completion order: the heap
+	// receives the same fronts in the same sequence as the historical
+	// serial loop, so trajectories stay bit-identical at any parallelism.
+	cands := candidateGates(d)
+	fronts := make([]*front, len(cands))
+	err := par.Run(ctx, cfg.Parallelism, len(cands), func(i int) error {
+		f, err := newFront(a, cfg, cands[i])
 		if err != nil {
-			return ir, err
+			return err
 		}
+		fronts[i] = f
+		return nil
+	})
+	if err != nil {
+		// par.Run already prefers the lowest-index evaluation error over
+		// a bare cancellation, matching the serial loop's reporting.
+		return ir, err
+	}
+	h := make(frontHeap, 0, len(cands))
+	var hintFront *front
+	for i, f := range fronts {
+		ir.considered++
 		ir.nodesVisited += f.visits
 		f.visits = 0
-		if gid == hint {
+		if cands[i] == hint {
 			hintFront = f
 			continue
 		}

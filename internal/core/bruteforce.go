@@ -8,6 +8,7 @@ import (
 	"statsize/internal/dist"
 	"statsize/internal/graph"
 	"statsize/internal/netlist"
+	"statsize/internal/par"
 	"statsize/internal/session"
 	"statsize/internal/ssta"
 )
@@ -153,25 +154,43 @@ type innerResult struct {
 
 // bruteForceIteration computes every candidate's exact sensitivity by a
 // full overlay SSTA pass and returns the top MultiSize gates. Brute
-// force evaluates everything anyway, so the hint is unused. The context
-// is checked once per candidate — each candidate costs a full SSTA
-// propagation, so this is the natural cancellation granularity.
+// force evaluates everything anyway, so the hint is unused. The sweeps
+// are independent — each candidate's overlay pass owns its arrival
+// slice and only reads the base analysis — so they fan out across the
+// configured worker pool; the top-k selection then merges in candidate
+// order, never completion order, so the picks (including tie-breaks)
+// are bit-identical to the serial sweep. Cancellation is checked per
+// candidate — each one costs a full SSTA propagation, the natural
+// granularity.
 func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, _ netlist.GateID) (innerResult, error) {
 	d := a.D
 	var ir innerResult
-	top := newTopK(cfg.MultiSize)
-	for _, gid := range candidateGates(d) {
-		if err := ctx.Err(); err != nil {
-			return ir, err
-		}
-		ir.considered++
-		sinkDist, visited, err := bruteSinkDist(a, gid)
+	cands := candidateGates(d)
+	type sweep struct {
+		sink    *dist.Dist
+		visited int
+	}
+	sweeps := make([]sweep, len(cands))
+	err := par.Run(ctx, cfg.Parallelism, len(cands), func(i int) error {
+		sinkDist, visited, err := bruteSinkDist(a, cands[i])
 		if err != nil {
-			return ir, err
+			return err
 		}
-		ir.nodesVisited += visited
-		sens := (base - cfg.Objective.Eval(sinkDist)) / d.Lib.DeltaW
-		top.offer(pick{gate: gid, sens: sens})
+		sweeps[i] = sweep{sink: sinkDist, visited: visited}
+		return nil
+	})
+	if err != nil {
+		// par.Run already prefers the lowest-index evaluation error over
+		// a bare cancellation, matching the serial loop's reporting.
+		return ir, err
+	}
+	// The user-supplied objective is evaluated here, in candidate order
+	// on this goroutine — objectives carry no thread-safety requirement.
+	top := newTopK(cfg.MultiSize)
+	for i, s := range sweeps {
+		ir.considered++
+		ir.nodesVisited += s.visited
+		top.offer(pick{gate: cands[i], sens: (base - cfg.Objective.Eval(s.sink)) / d.Lib.DeltaW})
 	}
 	ir.picks = top.sorted()
 	if len(ir.picks) > 0 {

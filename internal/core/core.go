@@ -30,6 +30,7 @@ import (
 	"statsize/internal/design"
 	"statsize/internal/dist"
 	"statsize/internal/netlist"
+	"statsize/internal/par"
 	"statsize/internal/session"
 )
 
@@ -86,6 +87,15 @@ type Config struct {
 	// algorithm "can be easily modified to size multiple gates");
 	// default 1.
 	MultiSize int
+	// Parallelism bounds the worker pools of the parallel evaluation
+	// paths: the session-opening SSTA pass, what-if batches, and the
+	// per-candidate sweeps inside the brute-force and accelerated inner
+	// loops. Candidate evaluation is mutation-free, results merge in
+	// candidate order, and distributions are exact lattice operations,
+	// so the worker count never changes any result — trajectories are
+	// bit-identical at every setting. Non-positive means one worker per
+	// logical CPU; 1 forces fully serial evaluation.
+	Parallelism int
 	// HeuristicLevels, when positive, stops each perturbation front
 	// after this many levels and uses its bound Smx as an approximate
 	// sensitivity — the fast heuristic the paper names as future work.
@@ -123,6 +133,7 @@ func (c Config) withDefaults() Config {
 	if c.MultiSize <= 0 {
 		c.MultiSize = 1
 	}
+	c.Parallelism = par.Workers(c.Parallelism)
 	return c
 }
 
@@ -207,7 +218,7 @@ func gridFor(d *design.Design, cfg Config) float64 {
 // analysis it used to build for itself.
 func OpenSession(ctx context.Context, d *design.Design, cfg Config) (*session.Session, error) {
 	cfg = cfg.withDefaults()
-	return session.Open(ctx, d, gridFor(d, cfg), cfg.Objective)
+	return session.Open(ctx, d, gridFor(d, cfg), cfg.Objective, cfg.Parallelism)
 }
 
 // areaCapReached reports whether the configured relative area budget is

@@ -98,8 +98,16 @@ func (d *Design) Load(n netlist.NetID) float64 { return d.loads[n] }
 // the exact prior state. Incremental load updates are not exactly
 // reversible in floating point (+delta followed by -delta can round
 // differently), so the affected loads, the width and the running total
-// are snapshotted and written back verbatim — trial perturbations in the
-// optimizers must leave the base design bit-identical.
+// are snapshotted and written back verbatim.
+//
+// The mutate-and-restore route is deprecated for perturbation
+// evaluation: it writes to the shared widths/loads arrays, which forces
+// every trial evaluation to serialize on the design. Candidate
+// evaluation (ssta.PerturbedDelays, the optimizers' fronts, session
+// what-ifs) uses the mutation-free EdgeDelayDistAtWidths instead, which
+// produces bit-identical distributions and is safe to run concurrently.
+// WithWidth remains for the deterministic corner-based baseline, which
+// owns its design exclusively while it runs.
 func (d *Design) WithWidth(g netlist.GateID, w float64, fn func() error) error {
 	gate := d.NL.Gate(g)
 	oldW := d.widths[g]
@@ -143,6 +151,61 @@ func (d *Design) EdgeDelayDist(dt float64, e graph.EdgeID) (*dist.Dist, error) {
 	}
 	gate := d.NL.Gate(g)
 	return d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[e], d.widths[g], d.loads[gate.Out])
+}
+
+// WidthAt returns gate g's width under a hypothetical assignment:
+// the override when present (clamped to the library's sizing range,
+// exactly as SetWidth would clamp it), the committed width otherwise.
+func (d *Design) WidthAt(g netlist.GateID, overrides map[netlist.GateID]float64) float64 {
+	if w, ok := overrides[g]; ok {
+		return d.Lib.ClampWidth(w)
+	}
+	return d.widths[g]
+}
+
+// LoadAt returns net n's capacitive load under a hypothetical width
+// assignment, without touching the design. It reproduces the exact
+// floating-point operations the incremental load maintenance performs —
+// the cached base load plus one input-capacitance delta per overridden
+// reader pin, accumulated in reader-pin order (the canonical order).
+// For a single-gate override — the shape every perturbation-evaluation
+// path uses — the result is bit-identical to what Load(n) would report
+// after SetWidth applied the same override, because every delta is the
+// same value and addition order cannot matter. With several overridden
+// gates reading one net, the reader-pin order is authoritative; a
+// sequence of SetWidth calls in a different order can differ in the
+// last ulp.
+func (d *Design) LoadAt(n netlist.NetID, overrides map[netlist.GateID]float64) float64 {
+	load := d.loads[n]
+	for _, r := range d.NL.Readers(n) {
+		w, ok := overrides[r.Gate]
+		if !ok {
+			continue
+		}
+		kind := d.NL.Gate(r.Gate).Kind
+		load += d.Lib.InputCap(kind, d.Lib.ClampWidth(w)) - d.Lib.InputCap(kind, d.widths[r.Gate])
+	}
+	return load
+}
+
+// EdgeDelayDistAtWidths returns the discretized pin-to-pin delay
+// distribution of a timing edge under a hypothetical width assignment,
+// or nil for zero-delay source/sink arcs. Unlike EdgeDelayDist after a
+// SetWidth, nothing is mutated: the driving gate's width and the output
+// net's load are evaluated against the overrides functionally. This is
+// the purity contract the parallel evaluation paths are built on — any
+// number of goroutines may call it concurrently with different override
+// sets over one design, and for a single-gate override (the shape every
+// perturbation-evaluation path uses) the distribution is bit-identical
+// to the mutate-evaluate-restore route; see LoadAt for the multi-gate
+// accumulation-order caveat.
+func (d *Design) EdgeDelayDistAtWidths(dt float64, e graph.EdgeID, overrides map[netlist.GateID]float64) (*dist.Dist, error) {
+	g := d.E.EdgeGate[e]
+	if g == netlist.NoGate {
+		return nil, nil
+	}
+	gate := d.NL.Gate(g)
+	return d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[e], d.WidthAt(g, overrides), d.LoadAt(gate.Out, overrides))
 }
 
 // State is a snapshot of the mutable sizing state (widths, loads, total)

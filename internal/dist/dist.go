@@ -28,6 +28,15 @@ type Dist struct {
 }
 
 // trim drops zero-mass bins at both ends, keeping supports tight.
+//
+// An all-zero mass vector panics: every constructor in this package
+// (Point, TruncGauss, Convolve, MaxIndep, MinIndep) preserves unit
+// mass, so zero total mass can only mean a corrupted operand or a bug
+// in a new operation. The historical fallback — silently returning a
+// single zero-mass bin — violated the documented mass-sums-to-1
+// invariant and let Percentile/CDF/Mean return garbage far from the
+// actual defect; failing loudly at the construction site is the
+// debuggable behavior.
 func trim(dt float64, i0 int, p []float64) *Dist {
 	lo, hi := 0, len(p)
 	for lo < hi && p[lo] == 0 {
@@ -37,9 +46,7 @@ func trim(dt float64, i0 int, p []float64) *Dist {
 		hi--
 	}
 	if lo == hi {
-		// Degenerate all-zero mass: keep a single empty bin rather than
-		// an invalid zero-length distribution.
-		return &Dist{dt: dt, i0: i0, p: []float64{0}}
+		panic(fmt.Sprintf("dist: zero total mass over %d bins (dt=%v, i0=%v) — operand violated the mass-sums-to-1 invariant", len(p), dt, i0))
 	}
 	return &Dist{dt: dt, i0: i0 + lo, p: p[lo:hi]}
 }

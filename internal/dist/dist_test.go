@@ -1,10 +1,50 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
+
+// TestTrimZeroMassPanics pins the degenerate-distribution contract: an
+// all-zero mass vector violates the mass-sums-to-1 invariant every
+// constructor preserves, so trim must fail loudly at the construction
+// site instead of returning a p=[0] Dist whose Percentile/CDF/Mean
+// silently produce garbage.
+func TestTrimZeroMassPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("trim accepted an all-zero mass vector")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "zero total mass") {
+			t.Errorf("panic message %q does not diagnose the zero-mass invariant violation", msg)
+		}
+	}()
+	trim(0.1, 3, []float64{0, 0, 0})
+}
+
+// TestTrimKeepsMassInvariant: trim on any vector with positive total
+// mass returns a Dist with nonzero first and last bins and the total
+// preserved exactly.
+func TestTrimKeepsMassInvariant(t *testing.T) {
+	d := trim(0.1, -2, []float64{0, 0, 0.25, 0, 0.75, 0, 0})
+	if d.NumBins() != 3 || d.I0() != 0 {
+		t.Fatalf("trim support wrong: %d bins at i0=%d", d.NumBins(), d.I0())
+	}
+	if d.MassAt(0) != 0.25 || d.MassAt(2) != 0.75 {
+		t.Error("trim moved mass")
+	}
+	total := 0.0
+	for k := 0; k < d.NumBins(); k++ {
+		total += d.MassAt(k)
+	}
+	if total != 1 {
+		t.Errorf("total mass %v after trim, want exactly 1", total)
+	}
+}
 
 func TestPoint(t *testing.T) {
 	d := Point(0.01, 0.25)

@@ -15,7 +15,10 @@
 //     recompute (reporting how many nodes were touched versus a full
 //     pass), WhatIf measures the exact objective sensitivity of a
 //     candidate resize via perturbation propagation without committing
-//     anything, and Checkpoint/Rollback give transactional sizing.
+//     anything — WhatIfBatch fans a whole candidate set out across the
+//     session's worker pool under one lock acquisition, which the
+//     mutation-free evaluation contract (see DESIGN.md) makes safe —
+//     and Checkpoint/Rollback give transactional sizing.
 //   - Optimizers: the sizing strategies in package core drive a Session
 //     instead of owning their own analysis loop, so every strategy gets
 //     incremental commits, cancellation and stats accounting for free.
@@ -35,6 +38,7 @@ import (
 	"statsize/internal/design"
 	"statsize/internal/dist"
 	"statsize/internal/netlist"
+	"statsize/internal/par"
 	"statsize/internal/ssta"
 )
 
@@ -60,10 +64,11 @@ type Session struct {
 	mu sync.Mutex
 	tx Tx
 
-	d      *design.Design
-	a      *ssta.Analysis
-	obj    Objective
-	closed bool
+	d       *design.Design
+	a       *ssta.Analysis
+	obj     Objective
+	workers int // worker bound for parallel evaluation (>= 1)
+	closed  bool
 
 	// deadline overrides the slack reference; when unset the current
 	// objective value of the sink distribution is used.
@@ -109,6 +114,14 @@ type ResizeStats struct {
 	Objective       float64 // session objective after the commit
 }
 
+// Candidate names one hypothetical resize for WhatIfBatch: gate g at
+// width w (clamped to the library range during evaluation, like every
+// width the session accepts).
+type Candidate struct {
+	Gate  netlist.GateID
+	Width float64
+}
+
 // WhatIfResult describes one uncommitted candidate evaluation.
 type WhatIfResult struct {
 	Gate         netlist.GateID
@@ -121,16 +134,22 @@ type WhatIfResult struct {
 
 // Open runs the initial full SSTA pass over d on grid dt and returns a
 // session owning d. The caller must not touch d afterwards except
-// through the session.
-func Open(ctx context.Context, d *design.Design, dt float64, obj Objective) (*Session, error) {
+// through the session. workers bounds the session's parallel evaluation
+// paths — the opening (and any resync) SSTA pass and WhatIfBatch fan
+// out across up to that many goroutines; non-positive means one worker
+// per logical CPU, 1 forces fully serial evaluation. The worker count
+// never changes results: every parallel path is bit-identical to its
+// serial reference.
+func Open(ctx context.Context, d *design.Design, dt float64, obj Objective, workers int) (*Session, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("session: nil objective")
 	}
-	a, err := ssta.Analyze(ctx, d, dt)
+	workers = par.Workers(workers)
+	a, err := ssta.AnalyzeParallel(ctx, d, dt, workers)
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{d: d, a: a, obj: obj}
+	s := &Session{d: d, a: a, obj: obj, workers: workers}
 	s.stats.TotalNodes = d.E.G.NumNodes() - 1 // every node but the source
 	s.tx.s = s
 	return s, nil
@@ -182,6 +201,21 @@ func (s *Session) WhatIf(ctx context.Context, g netlist.GateID, w float64) (What
 	}
 	defer tx.Release()
 	return tx.WhatIf(ctx, g, w)
+}
+
+// WhatIfBatch evaluates every candidate resize without committing any
+// of them. The session lock is taken once for the whole batch; the
+// candidates are then evaluated concurrently against the read-only base
+// analysis on the session's worker pool. Results arrive in candidate
+// order and are bit-identical to issuing the same WhatIf calls one by
+// one.
+func (s *Session) WhatIfBatch(ctx context.Context, candidates []Candidate) ([]WhatIfResult, error) {
+	tx, err := s.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Release()
+	return tx.WhatIfBatch(ctx, candidates)
 }
 
 // Checkpoint pushes a restore point and returns the checkpoint depth
@@ -248,7 +282,14 @@ func (s *Session) Objective() (float64, error) {
 }
 
 // ObjectiveName describes the session objective (e.g. "p99").
-func (s *Session) ObjectiveName() string { return s.obj.String() }
+func (s *Session) ObjectiveName() (string, error) {
+	tx, err := s.Acquire()
+	if err != nil {
+		return "", err
+	}
+	defer tx.Release()
+	return s.obj.String(), nil
+}
 
 // Arrival returns the arrival-time distribution at gate g's output.
 func (s *Session) Arrival(g netlist.GateID) (*dist.Dist, error) {
@@ -348,11 +389,29 @@ func (s *Session) TotalWidth() (float64, error) {
 	return s.d.TotalWidth(), nil
 }
 
-// NumGates returns the gate count of the underlying netlist.
-func (s *Session) NumGates() int { return s.d.NL.NumGates() }
+// NumGates returns the gate count of the underlying netlist. Like every
+// other accessor it locks the session and fails on a closed one: the
+// netlist itself is immutable, but an unlocked read would race with
+// Rollback restoring the design in place, and a silent use-after-Close
+// is a bug worth surfacing.
+func (s *Session) NumGates() (int, error) {
+	tx, err := s.Acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Release()
+	return s.d.NL.NumGates(), nil
+}
 
 // DT returns the SSTA grid resolution the session was opened at.
-func (s *Session) DT() float64 { return s.a.DT }
+func (s *Session) DT() (float64, error) {
+	tx, err := s.Acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Release()
+	return s.a.DT, nil
+}
 
 // Snapshot returns an independent clone of the current design, safe to
 // use after the session closes or moves on.

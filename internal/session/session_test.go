@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"statsize/internal/cell"
@@ -27,7 +28,7 @@ func open(t *testing.T) *Session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Open(context.Background(), d, d.SuggestDT(500), pct(0.99))
+	s, err := Open(context.Background(), d, d.SuggestDT(500), pct(0.99), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,15 +42,15 @@ func TestOpenValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(context.Background(), d, d.SuggestDT(500), nil); err == nil {
+	if _, err := Open(context.Background(), d, d.SuggestDT(500), nil, 0); err == nil {
 		t.Error("nil objective accepted")
 	}
-	if _, err := Open(context.Background(), d, -1, pct(0.99)); err == nil {
+	if _, err := Open(context.Background(), d, -1, pct(0.99), 0); err == nil {
 		t.Error("negative grid accepted")
 	}
 	canceled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := Open(canceled, d, d.SuggestDT(500), pct(0.99)); !errors.Is(err, context.Canceled) {
+	if _, err := Open(canceled, d, d.SuggestDT(500), pct(0.99), 0); !errors.Is(err, context.Canceled) {
 		t.Errorf("open with canceled ctx: %v", err)
 	}
 }
@@ -104,8 +105,12 @@ func TestWhatIfDoesNotCommit(t *testing.T) {
 	// Not every gate's perturbation reaches the sink (that pruning is
 	// the point), but at least one c17 gate must show a positive exact
 	// sensitivity.
+	numGates, err := s.NumGates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	bestSens := 0.0
-	for g := netlist.GateID(0); int(g) < s.NumGates(); g++ {
+	for g := netlist.GateID(0); int(g) < numGates; g++ {
 		r, err := s.WhatIf(ctx, g, 2)
 		if err != nil {
 			t.Fatal(err)
@@ -269,5 +274,66 @@ func TestReanalyzeResync(t *testing.T) {
 	}
 	if tx.Stats().FullReanalyses != 1 {
 		t.Errorf("FullReanalyses = %d", tx.Stats().FullReanalyses)
+	}
+}
+
+// TestAccessorsLockAndCheckClosed: NumGates, DT and ObjectiveName must
+// behave like every other accessor — serialize on the session lock and
+// fail with ErrClosed instead of silently reading freed state.
+func TestAccessorsLockAndCheckClosed(t *testing.T) {
+	s := open(t)
+	if n, err := s.NumGates(); err != nil || n != 6 {
+		t.Errorf("NumGates = %d, %v; want 6 (c17)", n, err)
+	}
+	if dt, err := s.DT(); err != nil || dt <= 0 {
+		t.Errorf("DT = %v, %v; want positive", dt, err)
+	}
+	if name, err := s.ObjectiveName(); err != nil || name != "p99" {
+		t.Errorf("ObjectiveName = %q, %v; want p99", name, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NumGates(); !errors.Is(err, ErrClosed) {
+		t.Errorf("NumGates after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.DT(); !errors.Is(err, ErrClosed) {
+		t.Errorf("DT after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.ObjectiveName(); !errors.Is(err, ErrClosed) {
+		t.Errorf("ObjectiveName after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.WhatIfBatch(context.Background(), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("WhatIfBatch after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestWhatIfBatchValidation: an invalid candidate fails the whole batch
+// deterministically (naming the candidate position) before anything is
+// evaluated, and a canceled context fails without evaluation.
+func TestWhatIfBatchValidation(t *testing.T) {
+	s := open(t)
+	ctx := context.Background()
+	if _, err := s.WhatIfBatch(ctx, []Candidate{{Gate: 0, Width: 2}, {Gate: 999, Width: 2}}); err == nil {
+		t.Error("out-of-range candidate accepted")
+	} else if want := "candidate 1"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name %q", err, want)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.WhatIfBatch(canceled, []Candidate{{Gate: 0, Width: 2}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batch: %v, want context.Canceled", err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WhatIfs != 0 {
+		t.Errorf("failed batches must not count: stats report %d what-ifs", st.WhatIfs)
+	}
+	// An empty batch succeeds with no results and no accounting.
+	res, err := s.WhatIfBatch(ctx, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: %v results, err %v", res, err)
 	}
 }

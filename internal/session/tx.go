@@ -2,11 +2,13 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"statsize/internal/design"
 	"statsize/internal/dist"
 	"statsize/internal/netlist"
+	"statsize/internal/par"
 	"statsize/internal/ssta"
 )
 
@@ -81,12 +83,47 @@ func (t *Tx) WhatIf(ctx context.Context, g netlist.GateID, w float64) (WhatIfRes
 	if err := s.checkGate(g); err != nil {
 		return WhatIfResult{}, err
 	}
-	base := t.Objective()
-	wEff := s.d.Lib.ClampWidth(w)
-	sink, visited, err := s.a.WhatIf(ctx, g, wEff)
+	res, err := t.evalWhatIf(ctx, t.Objective(), g, w)
 	if err != nil {
 		return WhatIfResult{}, err
 	}
+	s.stats.WhatIfs++
+	s.stats.WhatIfNodesVisited += res.NodesVisited
+	return res, nil
+}
+
+// evalWhatIf is the stats-free evaluation core shared by WhatIf and
+// WhatIfBatch: the propagation (whatIfSink) followed by the objective
+// summary (finishWhatIf).
+func (t *Tx) evalWhatIf(ctx context.Context, base float64, g netlist.GateID, w float64) (WhatIfResult, error) {
+	wEff, sink, visited, err := t.whatIfSink(ctx, g, w)
+	if err != nil {
+		return WhatIfResult{}, err
+	}
+	return t.finishWhatIf(base, g, wEff, sink, visited), nil
+}
+
+// whatIfSink propagates one candidate's perturbation and returns the
+// perturbed sink distribution. It only reads session state (the
+// design's widths, the base analysis), so WhatIfBatch may invoke it
+// from several goroutines at once while the session lock pins that
+// state. The user-supplied Objective is deliberately NOT evaluated
+// here: objectives carry no thread-safety requirement, so their Eval
+// runs only on the merging goroutine (finishWhatIf).
+func (t *Tx) whatIfSink(ctx context.Context, g netlist.GateID, w float64) (float64, *dist.Dist, int, error) {
+	s := t.s
+	wEff := s.d.Lib.ClampWidth(w)
+	sink, visited, err := s.a.WhatIf(ctx, g, wEff)
+	if err != nil {
+		return 0, nil, visited, err
+	}
+	return wEff, sink, visited, nil
+}
+
+// finishWhatIf summarizes one propagated candidate into a WhatIfResult,
+// evaluating the objective on the caller's goroutine.
+func (t *Tx) finishWhatIf(base float64, g netlist.GateID, wEff float64, sink *dist.Dist, visited int) WhatIfResult {
+	s := t.s
 	after := s.obj.Eval(sink)
 	res := WhatIfResult{
 		Gate:         g,
@@ -98,9 +135,60 @@ func (t *Tx) WhatIf(ctx context.Context, g netlist.GateID, w float64) (WhatIfRes
 	if dw := wEff - s.d.Width(g); dw != 0 {
 		res.Sensitivity = res.Delta / dw
 	}
-	s.stats.WhatIfs++
-	s.stats.WhatIfNodesVisited += visited
-	return res, nil
+	return res
+}
+
+// WhatIfBatch evaluates all candidates concurrently over the read-only
+// base analysis, bounded by the session's worker pool. Every candidate
+// gate is validated up front, so an invalid batch fails deterministically
+// before any evaluation runs. Results are indexed by candidate position
+// — never by completion order — and the objective evaluation and stats
+// accounting run in that same order on the calling goroutine (so
+// user-supplied objectives are never called concurrently), making a
+// batch observationally identical to the equivalent serial WhatIf loop,
+// for every worker count. Cancellation mid-batch abandons the remaining
+// candidates and reports the context error; no partial results are
+// returned (nothing was committed, so nothing needs undoing).
+func (t *Tx) WhatIfBatch(ctx context.Context, candidates []Candidate) ([]WhatIfResult, error) {
+	s := t.s
+	for i, c := range candidates {
+		if err := s.checkGate(c.Gate); err != nil {
+			return nil, fmt.Errorf("session: what-if batch candidate %d: %w", i, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("session: what-if batch canceled: %w", err)
+	}
+	base := t.Objective()
+	type propagated struct {
+		wEff    float64
+		sink    *dist.Dist
+		visited int
+	}
+	props := make([]propagated, len(candidates))
+	err := par.Run(ctx, s.workers, len(candidates), func(i int) error {
+		wEff, sink, visited, err := t.whatIfSink(ctx, candidates[i].Gate, candidates[i].Width)
+		if err != nil {
+			return err
+		}
+		props[i] = propagated{wEff: wEff, sink: sink, visited: visited}
+		return nil
+	})
+	if err != nil {
+		// Dress pure cancellation in the batch wrapper; real evaluation
+		// errors pass through even when the context also died meanwhile.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("session: what-if batch canceled: %w", err)
+		}
+		return nil, err
+	}
+	results := make([]WhatIfResult, len(candidates))
+	for i, p := range props {
+		results[i] = t.finishWhatIf(base, candidates[i].Gate, p.wEff, p.sink, p.visited)
+		s.stats.WhatIfNodesVisited += p.visited
+	}
+	s.stats.WhatIfs += len(results)
+	return results, nil
 }
 
 // Checkpoint pushes a restore point and returns the checkpoint depth
@@ -159,10 +247,11 @@ func (t *Tx) EnsureRequired(ctx context.Context) error {
 
 // Reanalyze replaces the incremental analysis with a full SSTA pass at
 // the session grid — the resync path for the legacy optimizer adapter,
-// whose wrapped strategies mutate the design directly.
+// whose wrapped strategies mutate the design directly. The pass runs
+// level-parallel on the session's worker pool.
 func (t *Tx) Reanalyze(ctx context.Context) error {
 	s := t.s
-	a, err := ssta.Analyze(ctx, s.d, s.a.DT)
+	a, err := ssta.AnalyzeParallel(ctx, s.d, s.a.DT, s.workers)
 	if err != nil {
 		return err
 	}

@@ -17,18 +17,22 @@ package ssta
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"statsize/internal/design"
 	"statsize/internal/dist"
 	"statsize/internal/graph"
 	"statsize/internal/netlist"
+	"statsize/internal/par"
 )
 
-// cancelCheckStride is how many units of work (edge-delay builds, node
-// propagations) pass between context checks: frequent enough for
-// sub-millisecond cancellation latency, rare enough to stay invisible
-// in profiles. Package montecarlo keeps its own equivalent constant.
+// cancelCheckStride is how many units of work (node propagations in the
+// serial incremental paths — ResizeCommit, WhatIf, ComputeRequired)
+// pass between context checks: frequent enough for sub-millisecond
+// cancellation latency, rare enough to stay invisible in profiles. The
+// parallel full pass checks through par.Run instead. Package montecarlo
+// keeps its own equivalent constant.
 const cancelCheckStride = 64
 
 // Analysis is a completed SSTA pass over a design at fixed grid
@@ -46,11 +50,26 @@ type Analysis struct {
 	deadline *dist.Dist
 }
 
-// Analyze runs a full statistical timing analysis on grid dt. The
-// context is checked periodically inside the propagation loops; on
-// cancellation the partial analysis is discarded and the context's
-// error is returned wrapped.
+// Analyze runs a full statistical timing analysis on grid dt with one
+// worker per logical CPU. The context is checked periodically inside
+// the propagation loops; on cancellation the partial analysis is
+// discarded and the context's error is returned wrapped.
 func Analyze(ctx context.Context, d *design.Design, dt float64) (*Analysis, error) {
+	return AnalyzeParallel(ctx, d, dt, 0)
+}
+
+// AnalyzeParallel is Analyze with an explicit worker bound (non-positive
+// means one worker per logical CPU; 1 is the serial reference path).
+//
+// The pass parallelizes in two stages. Edge-delay distributions are
+// independent of each other and fan out freely. The forward arrival
+// pass is level-parallel: nodes on one topological level depend only on
+// strictly lower levels (an edge always increases the level), so levels
+// run in sequence while the nodes within a level fan out. Every node's
+// arrival is a pure function of its fanins and results land in
+// per-node slots, so the computed analysis is bit-identical for every
+// worker count.
+func AnalyzeParallel(ctx context.Context, d *design.Design, dt float64, workers int) (*Analysis, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("ssta: non-positive dt %v", dt)
 	}
@@ -61,27 +80,79 @@ func Analyze(ctx context.Context, d *design.Design, dt float64) (*Analysis, erro
 		arrival: make([]*dist.Dist, g.NumNodes()),
 		edge:    make([]*dist.Dist, g.NumEdges()),
 	}
-	for e := 0; e < g.NumEdges(); e++ {
-		if e%cancelCheckStride == 0 && ctx.Err() != nil {
-			return nil, fmt.Errorf("ssta: analysis canceled: %w", ctx.Err())
-		}
+	// One pool serves the edge builds and every level of the forward
+	// pass: levels are numerous and individually small, so worker
+	// startup is paid once, not per level.
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	err := pool.Run(ctx, g.NumEdges(), func(e int) error {
 		dd, err := d.EdgeDelayDist(dt, graph.EdgeID(e))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a.edge[e] = dd
+		return nil
+	})
+	if err != nil {
+		return nil, wrapAnalyzeErr(err)
 	}
-	for i, n := range g.Topo() {
-		if i%cancelCheckStride == 0 && ctx.Err() != nil {
-			return nil, fmt.Errorf("ssta: analysis canceled: %w", ctx.Err())
+	a.arrival[g.Source()] = dist.Point(dt, 0)
+	for _, level := range levelNodes(g) {
+		nodes := level
+		err := pool.Run(ctx, len(nodes), func(i int) error {
+			arr, err := a.arrivalOrErr(nodes[i])
+			if err != nil {
+				return err
+			}
+			a.arrival[nodes[i]] = arr
+			return nil
+		})
+		if err != nil {
+			return nil, wrapAnalyzeErr(err)
 		}
-		if n == g.Source() {
-			a.arrival[n] = dist.Point(dt, 0)
-			continue
-		}
-		a.arrival[n] = a.computeArrival(n, nil, nil)
 	}
 	return a, nil
+}
+
+// wrapAnalyzeErr dresses a pure cancellation in the analysis-canceled
+// wrapper while letting genuine evaluation errors (the zero-fanin
+// diagnostic, a delay-model failure) pass through untouched — a real
+// diagnostic must never be masked just because the context also died
+// while the batch drained.
+func wrapAnalyzeErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("ssta: analysis canceled: %w", err)
+	}
+	return err
+}
+
+// levelNodes buckets every node except the source by topological level,
+// in ascending level order with topological order inside each bucket.
+// Level boundaries are the synchronization points of the parallel
+// forward pass.
+func levelNodes(g *graph.Graph) [][]graph.NodeID {
+	out := make([][]graph.NodeID, g.MaxLevel()+1)
+	for _, n := range g.Topo() {
+		if n == g.Source() {
+			continue
+		}
+		l := g.Level(n)
+		out[l] = append(out[l], n)
+	}
+	return out
+}
+
+// arrivalOrErr evaluates one node's arrival against the base analysis,
+// turning the nil a zero-fanin node would produce (a disconnected or
+// malformed elaboration — graph validation should make this impossible)
+// into a diagnostic error instead of letting the nil arrival propagate
+// into a downstream Convolve or SinkDist deref.
+func (a *Analysis) arrivalOrErr(n graph.NodeID) (*dist.Dist, error) {
+	arr := a.computeArrival(n, nil, nil)
+	if arr == nil {
+		return nil, fmt.Errorf("ssta: node %d has no fanin edges (disconnected or malformed elaboration)", n)
+	}
+	return arr, nil
 }
 
 // computeArrival evaluates one node's arrival CDF from its fanins. The
@@ -223,24 +294,25 @@ func (a *Analysis) ResizeCommit(ctx context.Context, x netlist.GateID) (int, err
 
 // PerturbedDelays returns the delay distributions that change when gate
 // x is resized to w — the pin edges of x and of the drivers of x's input
-// nets (Figure 7, step 1). The base design is restored bit-exactly.
+// nets (Figure 7, step 1). The evaluation is mutation-free: the
+// hypothetical width is applied functionally through
+// design.EdgeDelayDistAtWidths, the design is never touched, and the
+// distributions are bit-identical to what the historical
+// mutate-evaluate-restore route (design.WithWidth) produced. Because
+// nothing is written, any number of goroutines may evaluate different
+// candidates concurrently against one quiescent analysis.
 func (a *Analysis) PerturbedDelays(x netlist.GateID, w float64) (map[graph.EdgeID]*dist.Dist, error) {
 	d := a.D
+	overrides := map[netlist.GateID]float64{x: w}
 	out := make(map[graph.EdgeID]*dist.Dist)
-	err := d.WithWidth(x, w, func() error {
-		for _, gid := range AffectedGates(d, x) {
-			for _, eid := range d.E.GateEdges[gid] {
-				dd, err := d.EdgeDelayDist(a.DT, eid)
-				if err != nil {
-					return err
-				}
-				out[eid] = dd
+	for _, gid := range AffectedGates(d, x) {
+		for _, eid := range d.E.GateEdges[gid] {
+			dd, err := d.EdgeDelayDistAtWidths(a.DT, eid, overrides)
+			if err != nil {
+				return nil, err
 			}
+			out[eid] = dd
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return out, nil
 }
@@ -253,6 +325,10 @@ func (a *Analysis) PerturbedDelays(x netlist.GateID, w float64) (map[graph.EdgeI
 // propagation on that branch (the same exact elision ResizeCommit and
 // the accelerated optimizer use), so the cost is the size of the true
 // perturbation cone, not the whole graph.
+//
+// WhatIf only reads the analysis (all overlay state is call-local), so
+// concurrent WhatIf calls on one quiescent Analysis are safe — the
+// property Session.WhatIfBatch fans candidate evaluations out on.
 func (a *Analysis) WhatIf(ctx context.Context, x netlist.GateID, w float64) (*dist.Dist, int, error) {
 	g := a.D.E.G
 	delays, err := a.PerturbedDelays(x, w)

@@ -271,3 +271,125 @@ func TestAffectedGates(t *testing.T) {
 		t.Errorf("PI-fed gate affected set %v, want just itself", solo)
 	}
 }
+
+// TestZeroFaninDiagnostic pins the defensive contract of the forward
+// pass: a node with no fanin edges (only possible through a
+// disconnected or malformed elaboration — graph validation rejects such
+// topologies, but the analysis must not rely on that) yields a
+// diagnostic error instead of a nil arrival that would nil-deref much
+// later inside dist.Convolve or SinkDist. The source node is the one
+// legitimately fanin-free node, so it exercises the guard directly.
+func TestZeroFaninDiagnostic(t *testing.T) {
+	d := newDesign(t, "c17")
+	a := analyze(t, d, 400)
+	src := d.E.G.Source()
+	if arr, err := a.arrivalOrErr(src); err == nil || arr != nil {
+		t.Fatalf("zero-fanin node: arrival %v, err %v — want nil arrival with diagnostic error", arr, err)
+	} else if !strings.Contains(err.Error(), "no fanin edges") {
+		t.Errorf("diagnostic %q does not name the zero-fanin condition", err)
+	}
+}
+
+// TestAnalyzeParallelDeterminism: the level-parallel forward pass must
+// be bit-identical to the serial reference at every worker count —
+// every edge-delay distribution and every arrival, not just the sink.
+func TestAnalyzeParallelDeterminism(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range []string{"c17", "c432", "c1908"} {
+		t.Run(name, func(t *testing.T) {
+			d := newDesign(t, name)
+			dt := d.SuggestDT(400)
+			serial, err := AnalyzeParallel(ctx, d, dt, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				parallel, err := AnalyzeParallel(ctx, d, dt, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := d.E.G
+				for e := 0; e < g.NumEdges(); e++ {
+					se, pe := serial.EdgeDelay(graph.EdgeID(e)), parallel.EdgeDelay(graph.EdgeID(e))
+					if (se == nil) != (pe == nil) || (se != nil && !dist.ApproxEqual(se, pe, 0)) {
+						t.Fatalf("workers=%d: edge %d delay diverged from serial", workers, e)
+					}
+				}
+				for n := 0; n < g.NumNodes(); n++ {
+					if !dist.ApproxEqual(serial.Arrival(graph.NodeID(n)), parallel.Arrival(graph.NodeID(n)), 0) {
+						t.Fatalf("workers=%d: arrival at node %d diverged from serial", workers, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerturbedDelaysMutationFree: evaluating a candidate's perturbed
+// delays must leave the design bit-identical (no width, load or total
+// drift) and must match the historical mutate-evaluate-restore route
+// (design.WithWidth + cached-delay refresh) distribution for
+// distribution.
+func TestPerturbedDelaysMutationFree(t *testing.T) {
+	d := newDesign(t, "c432")
+	a := analyze(t, d, 400)
+	for g := 0; g < d.NL.NumGates(); g += 7 {
+		gid := netlist.GateID(g)
+		w := d.Width(gid) + d.Lib.DeltaW
+		widthsBefore := make([]float64, d.NL.NumGates())
+		for i := range widthsBefore {
+			widthsBefore[i] = d.Width(netlist.GateID(i))
+		}
+		loadsBefore := make([]float64, d.NL.NumNets())
+		for i := range loadsBefore {
+			loadsBefore[i] = d.Load(netlist.NetID(i))
+		}
+		totalBefore := d.TotalWidth()
+
+		got, err := a.PerturbedDelays(gid, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if d.TotalWidth() != totalBefore {
+			t.Fatalf("gate %d: PerturbedDelays changed total width", g)
+		}
+		for i := range widthsBefore {
+			if d.Width(netlist.GateID(i)) != widthsBefore[i] {
+				t.Fatalf("gate %d: PerturbedDelays changed width of gate %d", g, i)
+			}
+		}
+		for i := range loadsBefore {
+			if d.Load(netlist.NetID(i)) != loadsBefore[i] {
+				t.Fatalf("gate %d: PerturbedDelays changed load of net %d", g, i)
+			}
+		}
+
+		// Reference: the deprecated mutate-and-restore route.
+		want := make(map[graph.EdgeID]*dist.Dist)
+		err = d.WithWidth(gid, w, func() error {
+			for _, ag := range AffectedGates(d, gid) {
+				for _, eid := range d.E.GateEdges[ag] {
+					dd, err := d.EdgeDelayDist(a.DT, eid)
+					if err != nil {
+						return err
+					}
+					want[eid] = dd
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("gate %d: %d perturbed edges, reference has %d", g, len(got), len(want))
+		}
+		for eid, wd := range want {
+			gd, ok := got[eid]
+			if !ok || !dist.ApproxEqual(gd, wd, 0) {
+				t.Fatalf("gate %d edge %d: mutation-free delay diverged from mutate-and-restore reference", g, eid)
+			}
+		}
+	}
+}

@@ -95,7 +95,7 @@ func TestLegacyOptimizerAdapter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := ssta.Analyze(ctx, snap, s.DT())
+	fresh, err := ssta.Analyze(ctx, snap, sessionDT(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package statsize
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -12,6 +13,26 @@ import (
 	"statsize/internal/graph"
 	"statsize/internal/ssta"
 )
+
+// sessionDT and sessionNumGates unwrap the locked accessors for tests
+// that only need the value.
+func sessionDT(t testing.TB, s *Session) float64 {
+	t.Helper()
+	dt, err := s.DT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt
+}
+
+func sessionNumGates(t testing.TB, s *Session) int {
+	t.Helper()
+	n, err := s.NumGates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
 
 func openSession(t testing.TB, circuit string, opts ...RunOption) (*Engine, *Session) {
 	t.Helper()
@@ -53,7 +74,7 @@ func TestSessionQueries(t *testing.T) {
 	if obj != p99 {
 		t.Errorf("default objective %v should be the 99th percentile %v", obj, p99)
 	}
-	if name := s.ObjectiveName(); name != "p99" {
+	if name, err := s.ObjectiveName(); err != nil || name != "p99" {
 		t.Errorf("ObjectiveName = %q, want p99", name)
 	}
 
@@ -61,7 +82,7 @@ func TestSessionQueries(t *testing.T) {
 	// distributions exist, criticalities are probabilities, and at least
 	// one gate is statistically critical against the default deadline.
 	maxCrit := 0.0
-	for g := 0; g < s.NumGates(); g++ {
+	for g := 0; g < sessionNumGates(t, s); g++ {
 		arr, err := s.Arrival(GateID(g))
 		if err != nil {
 			t.Fatal(err)
@@ -108,7 +129,7 @@ func TestSessionQueries(t *testing.T) {
 	if _, err := s.Arrival(GateID(-1)); err == nil {
 		t.Error("negative gate ID accepted")
 	}
-	if _, err := s.Width(GateID(s.NumGates())); err == nil {
+	if _, err := s.Width(GateID(sessionNumGates(t, s))); err == nil {
 		t.Error("out-of-range gate ID accepted")
 	}
 }
@@ -131,7 +152,7 @@ func TestSessionWhatIfMatchesBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := ssta.Analyze(ctx, d, s.DT())
+	a, err := ssta.Analyze(ctx, d, sessionDT(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +308,7 @@ func TestSessionResizeIncremental(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := ssta.Analyze(ctx, after, s.DT())
+	fresh, err := ssta.Analyze(ctx, after, sessionDT(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +392,7 @@ func TestSessionCheckpointRollback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := ssta.Analyze(ctx, snap, s.DT())
+	fresh, err := ssta.Analyze(ctx, snap, sessionDT(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,6 +456,7 @@ func TestSessionConcurrentResize(t *testing.T) {
 	ctx := context.Background()
 
 	const workers = 8
+	numGates := sessionNumGates(t, s)
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
@@ -442,7 +464,7 @@ func TestSessionConcurrentResize(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for k := 0; k < 4; k++ {
-				g := GateID((w*17 + k*53) % s.NumGates())
+				g := GateID((w*17 + k*53) % numGates)
 				width, err := s.Width(g)
 				if err != nil {
 					errs[w] = err
@@ -478,7 +500,7 @@ func TestSessionConcurrentResize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := ssta.Analyze(ctx, snap, s.DT())
+	fresh, err := ssta.Analyze(ctx, snap, sessionDT(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,8 +545,8 @@ func TestSessionResizeCancellation(t *testing.T) {
 		time.Sleep(200 * time.Microsecond)
 		cancel2()
 	}()
-	for g := 0; g < s.NumGates(); g++ {
-		if _, err := s.Resize(mid, GateID(g%s.NumGates()), w0+1); err != nil {
+	for g := 0; g < sessionNumGates(t, s); g++ {
+		if _, err := s.Resize(mid, GateID(g), w0+1); err != nil {
 			break
 		}
 	}
@@ -534,7 +556,7 @@ func TestSessionResizeCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := ssta.Analyze(context.Background(), snap, s.DT())
+	fresh, err := ssta.Analyze(context.Background(), snap, sessionDT(t, s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -596,5 +618,168 @@ func TestOptimizeSessionInterleaved(t *testing.T) {
 	}
 	if objRolled != before {
 		t.Errorf("rollback after optimizer run: objective %v, want %v", objRolled, before)
+	}
+}
+
+// TestWhatIfBatchMatchesSerial is the batch determinism acceptance
+// check: WhatIfBatch over every candidate gate must return, in
+// candidate order, results bit-identical to the equivalent serial
+// WhatIf loop — same sensitivities, same objectives, same visit counts
+// — and the stats accounting must aggregate identically. Runs at full
+// engine parallelism, so any completion-order dependence or shared
+// state in the fan-out would show up as a diff (or as a race under
+// -race).
+func TestWhatIfBatchMatchesSerial(t *testing.T) {
+	_, serialS := openSession(t, "c880", WithConfig(Config{Bins: 400, Parallelism: 1}))
+	_, batchS := openSession(t, "c880", WithConfig(Config{Bins: 400}))
+	ctx := context.Background()
+
+	numGates := sessionNumGates(t, serialS)
+	var cands []Candidate
+	for g := 0; g < numGates; g++ {
+		gid := GateID(g)
+		w, err := serialS.Width(gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, Candidate{Gate: gid, Width: w + 0.5})
+	}
+
+	want := make([]WhatIfResult, len(cands))
+	for i, c := range cands {
+		r, err := serialS.WhatIf(ctx, c.Gate, c.Width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	got, err := batchS.WhatIfBatch(ctx, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d results for %d candidates", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d (gate %d): batch %+v != serial %+v", i, cands[i].Gate, got[i], want[i])
+		}
+	}
+
+	stSerial, err := serialS.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBatch, err := batchS.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBatch.WhatIfs != stSerial.WhatIfs || stBatch.WhatIfNodesVisited != stSerial.WhatIfNodesVisited {
+		t.Errorf("batch stats (%d what-ifs, %d nodes) != serial stats (%d, %d)",
+			stBatch.WhatIfs, stBatch.WhatIfNodesVisited, stSerial.WhatIfs, stSerial.WhatIfNodesVisited)
+	}
+	// Nothing committed on either session.
+	if stBatch.Resizes != 0 {
+		t.Errorf("batch committed %d resizes", stBatch.Resizes)
+	}
+}
+
+// TestWhatIfBatchConcurrent hammers WhatIfBatch from several goroutines
+// while others query, resize, checkpoint and roll back the same session
+// — the -race coverage for the one-lock-many-workers design. A batch
+// holds the session lock for its whole evaluation, so each one sees a
+// frozen snapshot regardless of the surrounding mutations; the per-batch
+// checks (results in candidate order, every candidate evaluated) hold
+// under any interleaving, and the post-storm check proves the analysis
+// ends exactly consistent with the design.
+func TestWhatIfBatchConcurrent(t *testing.T) {
+	_, s := openSession(t, "c432")
+	ctx := context.Background()
+	numGates := sessionNumGates(t, s)
+
+	cands := make([]Candidate, 0, 16)
+	for g := 0; g < 16; g++ {
+		cands = append(cands, Candidate{Gate: GateID(g % numGates), Width: 3})
+	}
+
+	const hammers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, hammers)
+	for w := 0; w < hammers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				switch w % 3 {
+				case 0: // batch evaluation
+					res, err := s.WhatIfBatch(ctx, cands)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					for i, r := range res {
+						if r.Gate != cands[i].Gate {
+							errs[w] = fmt.Errorf("batch result %d out of order: gate %d, want %d", i, r.Gate, cands[i].Gate)
+							return
+						}
+						if r.NodesVisited <= 0 {
+							errs[w] = fmt.Errorf("batch result %d: nothing visited: %+v", i, r)
+							return
+						}
+					}
+				case 1: // queries
+					if _, err := s.Percentile(0.99); err != nil {
+						errs[w] = err
+						return
+					}
+					if _, err := s.Arrival(GateID((w + k) % numGates)); err != nil {
+						errs[w] = err
+						return
+					}
+				case 2: // mutations with rollback
+					if _, err := s.Checkpoint(); err != nil {
+						errs[w] = err
+						return
+					}
+					gid := GateID((w*5 + k) % numGates)
+					width, err := s.Width(gid)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if _, err := s.Resize(ctx, gid, width+0.5); err != nil {
+						errs[w] = err
+						return
+					}
+					if err := s.Rollback(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("hammer %d: %v", w, err)
+		}
+	}
+
+	// The session must end exactly consistent with its design.
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ssta.Analyze(ctx, snap, sessionDT(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := s.SinkDist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.ApproxEqual(sink, fresh.SinkDist(), 0) {
+		t.Error("concurrent batches left the analysis inconsistent")
 	}
 }

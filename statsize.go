@@ -33,6 +33,7 @@
 //	defer s.Close()
 //	crit, _ := s.Criticality(ctx, gate)           // P(slack <= 0), no Monte Carlo
 //	wi, _ := s.WhatIf(ctx, gate, width)           // exact sensitivity, uncommitted
+//	ws, _ := s.WhatIfBatch(ctx, candidates)       // many candidates, evaluated in parallel
 //	rs, _ := s.Resize(ctx, gate, width)           // incremental commit
 //	res, _ := eng.OptimizeSession(ctx, s, "accelerated", statsize.MaxIterations(100))
 //	fmt.Printf("p99 %.3f -> %.3f ns (+%.1f%% area)\n",
@@ -114,6 +115,8 @@ type (
 	ResizeStats = session.ResizeStats
 	// WhatIfResult describes one uncommitted candidate evaluation.
 	WhatIfResult = session.WhatIfResult
+	// Candidate names one hypothetical resize for Session.WhatIfBatch.
+	Candidate = session.Candidate
 )
 
 // Session error sentinels, re-exported for errors.Is checks.
