@@ -1,0 +1,147 @@
+// Command benchreport runs the benchmark smoke set and emits a
+// machine-readable JSON perf report (name → ns/op, B/op, allocs/op,
+// plus any custom metrics) — the per-PR perf trajectory CI archives as
+// an artifact.
+//
+//	go run ./cmd/benchreport                             # BENCH_PR4.json, 1 iteration each
+//	go run ./cmd/benchreport -benchtime 100x -out p.json # steadier numbers
+//	go run ./cmd/benchreport -bench 'BenchmarkDistKernels' -pkgs ./internal/dist
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// smokeSet is the default benchmark selection: the dist kernels plus
+// the end-to-end passes whose allocs/op the PR acceptance criteria pin.
+const smokeSet = "BenchmarkDistKernels|BenchmarkPercentile|BenchmarkAnalyzeParallel|BenchmarkWhatIfBatch|BenchmarkSessionResize|BenchmarkFullReanalyze"
+
+// Result is one benchmark's measurements. NsPerOp/BytesPerOp/AllocsPerOp
+// are the standard triple; Metrics carries everything else the
+// benchmark reported (candidates/op, nodes/resize, …).
+type Result struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	Benchtime string            `json:"benchtime"`
+	Pattern   string            `json:"pattern"`
+	Results   map[string]Result `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result line: a benchmark name,
+// an iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix is the trailing -N go test appends to benchmark
+// names; stripped so reports from machines with different core counts
+// key identically.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	bench := flag.String("bench", smokeSet, "benchmark selection regexp (go test -bench)")
+	pkgs := flag.String("pkgs", "./...", "package pattern to benchmark")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+	args = append(args, strings.Fields(*pkgs)...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+		Pattern:   *bench,
+		Results:   map[string]Result{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		iters, _ := strconv.Atoi(m[2])
+		r := Result{Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		rep.Results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: scanning output: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark results matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(rep.Results))
+	for n := range rep.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchreport: wrote %d results to %s\n", len(names), *out)
+	for _, n := range names {
+		r := rep.Results[n]
+		fmt.Printf("  %-60s %14.1f ns/op %12.0f B/op %8.0f allocs/op\n", n, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}

@@ -59,7 +59,10 @@ type front struct {
 
 // newFront builds and initializes a candidate's front, propagating
 // through the candidate gate's own level exactly as Initialize does.
-func newFront(a *ssta.Analysis, cfg Config, x netlist.GateID) (*front, error) {
+// ar is the kernel scratch arena of the calling worker; the front
+// itself retains only persisted (heap) distributions, so fronts built
+// on different arenas mix freely in one heap afterwards.
+func newFront(a *ssta.Analysis, cfg Config, x netlist.GateID, ar *dist.Arena) (*front, error) {
 	d := a.D
 	delays, err := a.PerturbedDelays(x, d.Width(x)+d.Lib.DeltaW)
 	if err != nil {
@@ -85,7 +88,7 @@ func newFront(a *ssta.Analysis, cfg Config, x netlist.GateID) (*front, error) {
 	// steps 4–6).
 	ownLevel := g.Level(d.E.NodeOf[d.NL.Gate(x).Out])
 	for !f.dead && f.nextLevel <= ownLevel {
-		f.propagateOneLevel(a, cfg)
+		f.propagateOneLevel(a, cfg, ar)
 	}
 	return f, nil
 }
@@ -106,8 +109,10 @@ func (f *front) schedule(g *graph.Graph, n graph.NodeID) {
 // propagateOneLevel computes the perturbed arrivals of every node
 // scheduled at the front's current level (Figure 9), updates the
 // perturbation bounds and remaining-fanout counts, schedules fanouts,
-// and recomputes Smx.
-func (f *front) propagateOneLevel(a *ssta.Analysis, cfg Config) {
+// and recomputes Smx. Kernel intermediates cycle through ar per node;
+// whatever the front retains (perturbed arrivals, the sink) is
+// persisted out of scratch first.
+func (f *front) propagateOneLevel(a *ssta.Analysis, cfg Config, ar *dist.Arena) {
 	g := a.D.E.G
 	sink := g.Sink()
 	nodes := f.scheduled[f.nextLevel]
@@ -119,7 +124,8 @@ func (f *front) propagateOneLevel(a *ssta.Analysis, cfg Config) {
 
 	for _, n := range nodes {
 		delete(f.inSched, n)
-		pert := a.ArrivalWithOverlay(n, arrOverlay, delayOverlay)
+		ar.Reset()
+		pert := a.ArrivalWithOverlayInto(n, arrOverlay, delayOverlay, ar)
 		f.visits++
 		base := a.Arrival(n)
 		alive := true
@@ -131,11 +137,11 @@ func (f *front) propagateOneLevel(a *ssta.Analysis, cfg Config) {
 			alive = false
 		}
 		if n == sink {
-			f.sinkDist = pert
+			f.sinkDist = pert.Persist()
 			alive = false
 		}
 		if alive {
-			f.perturbed[n] = pert
+			f.perturbed[n] = pert.Persist()
 			f.delta[n] = dist.PerturbationBound(base, pert)
 			f.foLeft[n] = len(g.Out(n))
 			for _, eid := range g.Out(n) {
@@ -212,7 +218,7 @@ func (h *frontHeap) Pop() any {
 // propagated to the sink before anything else, so Max_S starts high and
 // prunes from the first heap pop; this only reorders evaluation and
 // cannot change the result.
-func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error) {
+func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID, ws []*sweepScratch) (innerResult, error) {
 	d := a.D
 	deltaW := d.Lib.DeltaW
 	var ir innerResult
@@ -225,8 +231,13 @@ func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, bas
 	// serial loop, so trajectories stay bit-identical at any parallelism.
 	cands := candidateGates(d)
 	fronts := make([]*front, len(cands))
-	err := par.Run(ctx, cfg.Parallelism, len(cands), func(i int) error {
-		f, err := newFront(a, cfg, cands[i])
+	// The run-lifetime worker scratches carry the kernel arenas: one
+	// per worker for the parallel build, plus the spare the serial heap
+	// loop reuses afterwards; fronts only retain persisted heap
+	// distributions, never arena views.
+	loopArena := ws[len(ws)-1].ar
+	err := par.RunIndexed(ctx, cfg.Parallelism, len(cands), func(w, i int) error {
+		f, err := newFront(a, cfg, cands[i], ws[w].ar)
 		if err != nil {
 			return err
 		}
@@ -267,7 +278,7 @@ func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, bas
 
 	if hintFront != nil {
 		for !hintFront.dead {
-			hintFront.propagateOneLevel(a, cfg)
+			hintFront.propagateOneLevel(a, cfg, loopArena)
 			ir.nodesVisited += hintFront.visits
 			hintFront.visits = 0
 		}
@@ -302,7 +313,7 @@ func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, bas
 			ir.pruned++
 			continue
 		}
-		f.propagateOneLevel(a, cfg)
+		f.propagateOneLevel(a, cfg, loopArena)
 		ir.nodesVisited += f.visits
 		f.visits = 0
 		if f.dead {

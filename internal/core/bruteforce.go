@@ -48,10 +48,14 @@ func statisticalDescent(
 	s *session.Session,
 	cfg Config,
 	method string,
-	inner func(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID) (innerResult, error),
+	inner func(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, hint netlist.GateID, ws []*sweepScratch) (innerResult, error),
 ) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	// Per-worker sweep scratch lives for the whole run: every iteration's
+	// candidate sweep reuses the same warm arenas, overlay slices and
+	// delay maps.
+	ws := newSweepScratches(cfg)
 	tx, err := s.Acquire()
 	if err != nil {
 		return nil, err
@@ -84,7 +88,7 @@ func statisticalDescent(
 		}
 		iterStart := time.Now()
 		base := cfg.Objective.Eval(a.SinkDist())
-		ir, err := inner(ctx, a, cfg, base, hint)
+		ir, err := inner(ctx, a, cfg, base, hint, ws)
 		if err != nil {
 			if ctx.Err() != nil {
 				return partial(ctx.Err())
@@ -137,6 +141,43 @@ func statisticalDescent(
 	return res, nil
 }
 
+// sweepScratch is the per-worker reusable state of the optimizer inner
+// loops, hoisted across coordinate-descent iterations so the hundreds
+// of sweeps in one run share one warm working set instead of rebuilding
+// (and garbage-collecting) it every iteration: a kernel arena, the
+// overlay arrival slice of the brute-force sweep, and a perturbed-delay
+// map recycled between candidates.
+type sweepScratch struct {
+	ar     *dist.Arena
+	arr    []*dist.Dist
+	delays map[graph.EdgeID]*dist.Dist
+}
+
+// newSweepScratches builds one scratch per evaluation worker plus one
+// extra for the serial phase that follows the parallel fan-out (the
+// accelerated heap loop).
+func newSweepScratches(cfg Config) []*sweepScratch {
+	out := make([]*sweepScratch, par.Workers(cfg.Parallelism)+1)
+	for i := range out {
+		out[i] = &sweepScratch{
+			ar:     dist.NewArena(),
+			delays: make(map[graph.EdgeID]*dist.Dist),
+		}
+	}
+	return out
+}
+
+// overlayArrivals returns the scratch's arrival slice sized for n
+// nodes, cleared for a fresh sweep.
+func (sc *sweepScratch) overlayArrivals(n int) []*dist.Dist {
+	if len(sc.arr) < n {
+		sc.arr = make([]*dist.Dist, n)
+	}
+	arr := sc.arr[:n]
+	clear(arr)
+	return arr
+}
+
 // pick is one gate selected for sizing with its exact sensitivity.
 type pick struct {
 	gate netlist.GateID
@@ -162,7 +203,7 @@ type innerResult struct {
 // are bit-identical to the serial sweep. Cancellation is checked per
 // candidate — each one costs a full SSTA propagation, the natural
 // granularity.
-func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, _ netlist.GateID) (innerResult, error) {
+func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base float64, _ netlist.GateID, ws []*sweepScratch) (innerResult, error) {
 	d := a.D
 	var ir innerResult
 	cands := candidateGates(d)
@@ -171,8 +212,11 @@ func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base
 		visited int
 	}
 	sweeps := make([]sweep, len(cands))
-	err := par.Run(ctx, cfg.Parallelism, len(cands), func(i int) error {
-		sinkDist, visited, err := bruteSinkDist(a, cands[i])
+	// Each candidate's full overlay pass computes in its worker's
+	// scratch (arena + recycled overlay slice + delay map); only the
+	// persisted sink distribution escapes.
+	err := par.RunIndexed(ctx, cfg.Parallelism, len(cands), func(w, i int) error {
+		sinkDist, visited, err := bruteSinkDist(a, cands[i], ws[w])
 		if err != nil {
 			return err
 		}
@@ -200,27 +244,33 @@ func bruteForceIteration(ctx context.Context, a *ssta.Analysis, cfg Config, base
 }
 
 // bruteSinkDist propagates gate gid's perturbation through the entire
-// timing graph — a full SSTA run per candidate, per Section 3.1.
-func bruteSinkDist(a *ssta.Analysis, gid netlist.GateID) (*dist.Dist, int, error) {
+// timing graph — a full SSTA run per candidate, per Section 3.1. The
+// whole pass computes in the scratch arena without intermediate resets
+// (every node's perturbed arrival is an operand of its fanouts, so all
+// of them must stay live until the sink); the scratch — arena, overlay
+// arrival slice, delay map — is rewound once per candidate and only
+// the persisted sink escapes.
+func bruteSinkDist(a *ssta.Analysis, gid netlist.GateID, sc *sweepScratch) (*dist.Dist, int, error) {
 	d := a.D
 	g := d.E.G
-	delays, err := a.PerturbedDelays(gid, d.Width(gid)+d.Lib.DeltaW)
-	if err != nil {
+	clear(sc.delays)
+	if err := a.PerturbedDelaysInto(gid, d.Width(gid)+d.Lib.DeltaW, sc.delays); err != nil {
 		return nil, 0, err
 	}
-	arr := make([]*dist.Dist, g.NumNodes())
+	sc.ar.Reset()
+	arr := sc.overlayArrivals(g.NumNodes())
 	arrOverlay := func(n graph.NodeID) *dist.Dist { return arr[n] }
-	delayOverlay := func(e graph.EdgeID) *dist.Dist { return delays[e] }
+	delayOverlay := func(e graph.EdgeID) *dist.Dist { return sc.delays[e] }
 	visited := 0
 	for _, n := range g.Topo() {
 		if n == g.Source() {
 			arr[n] = a.Arrival(n)
 			continue
 		}
-		arr[n] = a.ArrivalWithOverlay(n, arrOverlay, delayOverlay)
+		arr[n] = a.ArrivalWithOverlayInto(n, arrOverlay, delayOverlay, sc.ar)
 		visited++
 	}
-	return arr[g.Sink()], visited, nil
+	return arr[g.Sink()].Persist(), visited, nil
 }
 
 // topK keeps the k best picks by (sensitivity desc, gate ID asc) — the

@@ -7,6 +7,7 @@ import (
 
 	"statsize/internal/cell"
 	"statsize/internal/design"
+	"statsize/internal/dist"
 	"statsize/internal/netlist"
 	"statsize/internal/ssta"
 )
@@ -146,12 +147,12 @@ func TestFrontDrainsCompletely(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, gid := range candidateGates(d)[:10] {
-		f, err := newFront(a, cfg, gid)
+		f, err := newFront(a, cfg, gid, dist.NewArena())
 		if err != nil {
 			t.Fatal(err)
 		}
 		for !f.dead {
-			f.propagateOneLevel(a, cfg)
+			f.propagateOneLevel(a, cfg, dist.NewArena())
 		}
 		if len(f.perturbed) != 0 || len(f.delta) != 0 || len(f.foLeft) != 0 {
 			t.Fatalf("gate %d: front leaked %d/%d/%d entries",

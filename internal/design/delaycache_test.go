@@ -1,0 +1,149 @@
+package design
+
+import (
+	"sync"
+	"testing"
+
+	"statsize/internal/cell"
+	"statsize/internal/graph"
+	"statsize/internal/netlist"
+)
+
+func cacheTestDesign(t *testing.T) *Design {
+	t.Helper()
+	lib := cell.Default180nm()
+	d, err := New(netlist.C17(lib), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDelayCacheBitIdentical: every cached edge-delay distribution is
+// bit-identical to a direct library evaluation, across resizes (new
+// keys), rollbacks (old keys again) and hypothetical overrides.
+func TestDelayCacheBitIdentical(t *testing.T) {
+	d := cacheTestDesign(t)
+	const dt = 0.001
+	check := func(stage string) {
+		t.Helper()
+		for e := 0; e < d.E.G.NumEdges(); e++ {
+			eid := graph.EdgeID(e)
+			g := d.E.EdgeGate[eid]
+			if g == netlist.NoGate {
+				continue
+			}
+			gate := d.NL.Gate(g)
+			got, err := d.EdgeDelayDist(dt, eid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[eid], d.Width(g), d.Load(gate.Out))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.DT() != want.DT() || got.I0() != want.I0() || got.NumBins() != want.NumBins() {
+				t.Fatalf("%s: edge %d header differs from direct evaluation", stage, e)
+			}
+			for k := 0; k < want.NumBins(); k++ {
+				if got.MassAt(k) != want.MassAt(k) {
+					t.Fatalf("%s: edge %d mass[%d] = %x, direct %x", stage, e, k, got.MassAt(k), want.MassAt(k))
+				}
+			}
+		}
+	}
+	check("initial")
+	st := d.Snapshot()
+	d.SetWidth(0, d.Width(0)+d.Lib.DeltaW)
+	d.SetWidth(2, d.Width(2)+2*d.Lib.DeltaW)
+	check("after resize")
+	d.Restore(st)
+	check("after rollback")
+	hits, misses, entries := d.DelayCacheStats()
+	if hits == 0 || misses == 0 || entries == 0 {
+		t.Errorf("cache did not engage: hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+	// The rollback re-queried the initial keys: those must be hits, not
+	// fresh entries — exact keying makes invalidation unnecessary.
+	if int(misses) != entries {
+		t.Errorf("misses (%d) should equal distinct entries (%d)", misses, entries)
+	}
+}
+
+// TestDelayCacheSharedByClone: clones share the memo cache (entries are
+// pure values of the library, not of any one sizing state).
+func TestDelayCacheSharedByClone(t *testing.T) {
+	d := cacheTestDesign(t)
+	c := d.Clone()
+	if d.delays != c.delays {
+		t.Fatal("Clone did not share the delay cache")
+	}
+	const dt = 0.001
+	if _, err := d.EdgeDelayDist(dt, firstGateEdge(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, _ := c.DelayCacheStats()
+	if _, err := c.EdgeDelayDist(dt, firstGateEdge(t, c)); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, _ := c.DelayCacheStats()
+	if h1 != h0+1 || m1 != m0 {
+		t.Errorf("clone re-derived a cached distribution: hits %d→%d misses %d→%d", h0, h1, m0, m1)
+	}
+}
+
+func firstGateEdge(t *testing.T, d *Design) graph.EdgeID {
+	t.Helper()
+	for e := 0; e < d.E.G.NumEdges(); e++ {
+		if d.E.EdgeGate[graph.EdgeID(e)] != netlist.NoGate {
+			return graph.EdgeID(e)
+		}
+	}
+	t.Fatal("no gate edges")
+	return 0
+}
+
+// TestDelayCacheConcurrent hammers one cache from many goroutines mixing
+// overlapping keys — run under -race this is the concurrency contract.
+func TestDelayCacheConcurrent(t *testing.T) {
+	d := cacheTestDesign(t)
+	const dt = 0.001
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := graph.EdgeID((seed + i) % d.E.G.NumEdges())
+				if d.E.EdgeGate[e] == netlist.NoGate {
+					continue
+				}
+				over := map[netlist.GateID]float64{netlist.GateID(i % d.NL.NumGates()): 1 + 0.5*float64(i%4)}
+				if _, err := d.EdgeDelayDistAtWidths(dt, e, over); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestDelayCacheCapFlush: overflowing a shard flushes it instead of
+// growing without bound.
+func TestDelayCacheCapFlush(t *testing.T) {
+	c := NewDelayCache()
+	lib := cell.Default180nm()
+	// Drive one shard far past its cap by sweeping loads; entries spread
+	// over shards, so push enough volume that every shard crosses the cap
+	// at least once.
+	for i := 0; i < delayShards*delayShardCap/4; i++ {
+		load := 1.0 + float64(i)*1e-9
+		if _, err := c.DelayDist(lib, 0.01, cell.INV, 0, 1.0, load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, max := c.Len(), delayShards*delayShardCap; got > max {
+		t.Errorf("cache grew past its cap: %d entries > %d", got, max)
+	}
+}

@@ -24,6 +24,13 @@ type Design struct {
 	widths []float64 // per gate, in multiples of minimum width
 	loads  []float64 // per net, fF, kept consistent with widths
 	total  float64   // sum of widths — the paper's "total gate size"
+
+	// delays memoizes Lib.DelayDist evaluations across the whole sizing
+	// run. Keys are exact (kind, pin, dt, width, load) tuples, so
+	// entries never go stale and the cache is deliberately shared by
+	// Clone: optimizer sweeps revisiting the same discrete widths reuse
+	// distributions instead of re-deriving them.
+	delays *DelayCache
 }
 
 // New elaborates the netlist and returns a design with every gate at
@@ -42,6 +49,7 @@ func New(nl *netlist.Netlist, lib *cell.Library) (*Design, error) {
 		Lib:    lib,
 		widths: make([]float64, nl.NumGates()),
 		loads:  make([]float64, nl.NumNets()),
+		delays: NewDelayCache(),
 	}
 	for i := range d.widths {
 		d.widths[i] = lib.WMin
@@ -150,7 +158,28 @@ func (d *Design) EdgeDelayDist(dt float64, e graph.EdgeID) (*dist.Dist, error) {
 		return nil, nil
 	}
 	gate := d.NL.Gate(g)
-	return d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[e], d.widths[g], d.loads[gate.Out])
+	return d.delayDist(dt, gate.Kind, d.E.EdgePin[e], d.widths[g], d.loads[gate.Out])
+}
+
+// delayDist routes a delay-distribution evaluation through the memo
+// cache; the returned *Dist is an immutable shared value.
+func (d *Design) delayDist(dt float64, kind cell.Kind, pin int, w, load float64) (*dist.Dist, error) {
+	if d.delays == nil {
+		// A zero-value Design (tests constructing by hand) falls back to
+		// direct evaluation.
+		return d.Lib.DelayDist(dt, kind, pin, w, load)
+	}
+	return d.delays.DelayDist(d.Lib, dt, kind, pin, w, load)
+}
+
+// DelayCacheStats reports the hit/miss counters and entry count of the
+// delay-distribution memo cache.
+func (d *Design) DelayCacheStats() (hits, misses uint64, entries int) {
+	if d.delays == nil {
+		return 0, 0, 0
+	}
+	hits, misses = d.delays.Stats()
+	return hits, misses, d.delays.Len()
 }
 
 // WidthAt returns gate g's width under a hypothetical assignment:
@@ -205,7 +234,7 @@ func (d *Design) EdgeDelayDistAtWidths(dt float64, e graph.EdgeID, overrides map
 		return nil, nil
 	}
 	gate := d.NL.Gate(g)
-	return d.Lib.DelayDist(dt, gate.Kind, d.E.EdgePin[e], d.WidthAt(g, overrides), d.LoadAt(gate.Out, overrides))
+	return d.delayDist(dt, gate.Kind, d.E.EdgePin[e], d.WidthAt(g, overrides), d.LoadAt(gate.Out, overrides))
 }
 
 // State is a snapshot of the mutable sizing state (widths, loads, total)

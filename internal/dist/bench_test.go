@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// kernelOperands builds a representative operand pair whose supports
+// span roughly `bins` bins each — the shape the SSTA forward pass feeds
+// the kernels at the default 600-bin grid.
+func kernelOperands(b *testing.B, bins int) (*Dist, *Dist) {
+	b.Helper()
+	// sigma chosen so the ±3σ support covers ~bins grid steps.
+	dt := 1.0 / float64(bins)
+	x := mustGauss(b, dt, 0.50, 0.50/6)
+	y := mustGauss(b, dt, 0.55, 0.55/6)
+	return x, y
+}
+
+// BenchmarkDistKernels measures the numeric core at representative bin
+// counts, in both the allocating and the arena (Into) forms — the
+// machine-readable perf trajectory cmd/benchreport records per PR.
+// Run with -benchmem: the Into forms must show 0 allocs/op warm.
+func BenchmarkDistKernels(b *testing.B) {
+	for _, bins := range []int{100, 400, 1600} {
+		x, y := kernelOperands(b, bins)
+		ar := NewArena()
+		kernels := []struct {
+			name  string
+			alloc func() *Dist
+			into  func() *Dist
+		}{
+			{"Convolve", func() *Dist { return Convolve(x, y) }, func() *Dist { return ConvolveInto(ar, x, y) }},
+			{"MaxIndep", func() *Dist { return MaxIndep(x, y) }, func() *Dist { return MaxIndepInto(ar, x, y) }},
+			{"MinIndep", func() *Dist { return MinIndep(x, y) }, func() *Dist { return MinIndepInto(ar, x, y) }},
+			{"SubConvolve", func() *Dist { return SubConvolve(x, y) }, func() *Dist { return SubConvolveInto(ar, x, y) }},
+		}
+		for _, k := range kernels {
+			b.Run(fmt.Sprintf("%s/bins%d/alloc", k.name, bins), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					k.alloc()
+				}
+			})
+			b.Run(fmt.Sprintf("%s/bins%d/into", k.name, bins), func(b *testing.B) {
+				b.ReportAllocs()
+				ar.Reset()
+				k.into() // warm the arena before timing
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ar.Reset()
+					k.into()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPercentile measures the cached quantile query against a
+// fresh distribution (first query pays the cumulative-sum build) and a
+// warm one (binary search only) — the satellite fix for timingreport's
+// per-gate slack table.
+func BenchmarkPercentile(b *testing.B) {
+	x, y := kernelOperands(b, 1600)
+	d := Convolve(x, y)
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		d.Percentile(0.99) // build the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Percentile(0.99)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := Convolve(x, y)
+			b.StartTimer()
+			fresh.Percentile(0.99)
+		}
+	})
+}

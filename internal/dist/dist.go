@@ -11,20 +11,51 @@
 // PerturbationBound computes Δ, the largest leftward shift of a
 // perturbed CDF against its base (the per-node quantity whose maximum
 // over a propagation front is the paper's pruning bound Smx·Δw).
+//
+// # Memory model
+//
+// Every kernel exists in two forms. The classic form (Convolve,
+// MaxIndep, MinIndep, SubConvolve, Neg) allocates a fresh immutable
+// Dist — safe to share between goroutines, snapshot, and retain
+// forever. The Into form (ConvolveInto, MaxIndepInto, …) takes an
+// *Arena and returns a scratch view whose mass vector and header live
+// in arena memory: bit-identical values (same trim, same snap-to-1),
+// zero steady-state allocations, but valid only until the arena's next
+// Reset. Call Persist on a scratch view to obtain an immutable compact
+// copy before retaining it. A nil arena makes every Into kernel behave
+// exactly like its allocating wrapper. See DESIGN.md ("Memory model")
+// for the ownership rules the SSTA hot paths follow.
 package dist
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 )
 
 // Dist is a discretized probability distribution on a uniform grid:
 // mass p[k] sits at time (i0+k)·dt. The mass vector always sums to 1
 // (up to float rounding) and has nonzero first and last entries.
+//
+// A Dist is immutable after construction unless it is an arena-backed
+// scratch view (see Arena); scratch views die at the arena's next
+// Reset and must be Persist-ed before being retained or shared.
 type Dist struct {
 	dt float64
 	i0 int
 	p  []float64
+
+	// scratch marks arena-backed views; Persist uses it to decide
+	// whether a compact copy is needed.
+	scratch bool
+
+	// cum lazily caches the cumulative sums of p for Percentile/CDF:
+	// cum[k] = p[0]+…+p[k], computed on first query and binary-searched
+	// afterwards. The pointer is atomic so concurrent readers may race
+	// to fill it — both compute the identical array, so either store
+	// wins harmlessly.
+	cum atomic.Pointer[[]float64]
 }
 
 // trim drops zero-mass bins at both ends, keeping supports tight.
@@ -38,6 +69,13 @@ type Dist struct {
 // actual defect; failing loudly at the construction site is the
 // debuggable behavior.
 func trim(dt float64, i0 int, p []float64) *Dist {
+	return trimInto(nil, dt, i0, p)
+}
+
+// trimInto is trim with the result header drawn from ar (or the heap
+// when ar is nil). The mass slice is never copied — the returned Dist
+// views p[lo:hi].
+func trimInto(ar *Arena, dt float64, i0 int, p []float64) *Dist {
 	lo, hi := 0, len(p)
 	for lo < hi && p[lo] == 0 {
 		lo++
@@ -48,7 +86,10 @@ func trim(dt float64, i0 int, p []float64) *Dist {
 	if lo == hi {
 		panic(fmt.Sprintf("dist: zero total mass over %d bins (dt=%v, i0=%v) — operand violated the mass-sums-to-1 invariant", len(p), dt, i0))
 	}
-	return &Dist{dt: dt, i0: i0 + lo, p: p[lo:hi]}
+	if ar == nil {
+		return &Dist{dt: dt, i0: i0 + lo, p: p[lo:hi]}
+	}
+	return ar.newDist(dt, i0+lo, p[lo:hi])
 }
 
 // Point returns the distribution concentrated on the grid point nearest
@@ -148,42 +189,89 @@ func (d *Dist) Std() float64 {
 // query must not skip to the next bin over such noise.
 const probEps = 1e-12
 
-// Percentile returns the p-quantile: the earliest grid point whose
-// cumulative probability reaches p.
-func (d *Dist) Percentile(p float64) float64 {
-	cum := 0.0
-	for k, pk := range d.p {
-		cum += pk
-		if cum >= p-probEps {
-			return float64(d.i0+k) * d.dt
-		}
+// cumsum returns the cached cumulative-sum array, computing it on first
+// use: cumsum()[k] is the running sum p[0]+…+p[k] in index order —
+// bit-identical to the accumulator the historical linear scans carried,
+// so binary searches over it reproduce the scans exactly. Concurrent
+// first queries may compute it twice; both arrays are identical and the
+// atomic store is idempotent.
+func (d *Dist) cumsum() []float64 {
+	if c := d.cum.Load(); c != nil {
+		return *c
 	}
-	return d.MaxTime()
+	c := make([]float64, len(d.p))
+	s := 0.0
+	for k, pk := range d.p {
+		s += pk
+		c[k] = s
+	}
+	d.cum.Store(&c)
+	return c
 }
 
-// CDF returns the probability of a value at or below t.
-func (d *Dist) CDF(t float64) float64 {
-	cum := 0.0
-	for k, pk := range d.p {
-		if float64(d.i0+k)*d.dt > t+probEps*d.dt {
-			break
-		}
-		cum += pk
+// Percentile returns the p-quantile: the earliest grid point whose
+// cumulative probability reaches p. The cumulative sums are cached on
+// first query and binary-searched afterwards, so repeated quantile
+// queries against one distribution (the slack/criticality tables) cost
+// O(log n) instead of O(n).
+func (d *Dist) Percentile(p float64) float64 {
+	c := d.cumsum()
+	thr := p - probEps
+	k := sort.Search(len(c), func(i int) bool { return c[i] >= thr })
+	if k == len(c) {
+		return d.MaxTime()
 	}
-	return cum
+	return float64(d.i0+k) * d.dt
+}
+
+// CDF returns the probability of a value at or below t. Like
+// Percentile it binary-searches the cached cumulative sums.
+func (d *Dist) CDF(t float64) float64 {
+	thr := t + probEps*d.dt
+	// n is the number of leading bins whose grid time is at or below
+	// thr; grid times increase strictly with the index, so the
+	// predicate is monotone.
+	n := sort.Search(len(d.p), func(k int) bool { return float64(d.i0+k)*d.dt > thr })
+	if n == 0 {
+		return 0
+	}
+	return d.cumsum()[n-1]
 }
 
 // ShiftBins returns a copy displaced by n grid steps (negative n shifts
-// earlier).
+// earlier). The mass vector is shared, so a shift of a scratch view is
+// itself a scratch view.
 func (d *Dist) ShiftBins(n int) *Dist {
-	return &Dist{dt: d.dt, i0: d.i0 + n, p: d.p}
+	return &Dist{dt: d.dt, i0: d.i0 + n, p: d.p, scratch: d.scratch}
 }
+
+// Persist returns d when it is an ordinary immutable value, or a
+// compact heap copy when d is an arena-backed scratch view — the one
+// operation that may move a kernel result out of scratch memory into a
+// retained structure (an arrival slot, an overlay map, a snapshot).
+func (d *Dist) Persist() *Dist {
+	if !d.scratch {
+		return d
+	}
+	p := make([]float64, len(d.p))
+	copy(p, d.p)
+	return &Dist{dt: d.dt, i0: d.i0, p: p}
+}
+
+// IsScratch reports whether d is an arena-backed view (valid only until
+// its arena's next Reset).
+func (d *Dist) IsScratch() bool { return d.scratch }
 
 // Convolve returns the distribution of the sum of two independent
 // variables — the arrival-plus-edge-delay step of SSTA. Exact on the
 // lattice: indices add.
-func Convolve(a, b *Dist) *Dist {
-	out := make([]float64, len(a.p)+len(b.p)-1)
+func Convolve(a, b *Dist) *Dist { return ConvolveInto(nil, a, b) }
+
+// ConvolveInto is Convolve with the output mass vector and header drawn
+// from ar; a nil arena allocates, making it identical to Convolve. The
+// result values are bit-identical either way.
+func ConvolveInto(ar *Arena, a, b *Dist) *Dist {
+	out := scratchFloats(ar, len(a.p)+len(b.p)-1)
 	// Convolve with the shorter operand outer so the inner loop runs
 	// long and contiguous.
 	x, y := a, b
@@ -199,13 +287,19 @@ func Convolve(a, b *Dist) *Dist {
 			row[j] += pi * pj
 		}
 	}
-	return trim(a.dt, a.i0+b.i0, out)
+	return trimInto(ar, a.dt, a.i0+b.i0, out)
 }
 
 // MaxIndep returns the distribution of the maximum of two independent
 // variables — the fanin merge of SSTA: the result CDF is the product of
 // the operand CDFs, evaluated bin by bin on the common grid.
-func MaxIndep(a, b *Dist) *Dist {
+func MaxIndep(a, b *Dist) *Dist { return MaxIndepInto(nil, a, b) }
+
+// MaxIndepInto is MaxIndep writing into arena scratch (nil arena
+// allocates). When one operand dominates outright the operand itself is
+// returned — possibly a scratch view, possibly a shared immutable value;
+// callers that retain the result go through Persist either way.
+func MaxIndepInto(ar *Arena, a, b *Dist) *Dist {
 	// A strictly-later operand dominates outright: when one support ends
 	// at or before the other begins, the maximum IS the later operand —
 	// returned as-is, bit for bit. This is the exact cancellation the
@@ -226,9 +320,20 @@ func MaxIndep(a, b *Dist) *Dist {
 	if bHi > hi {
 		hi = bHi
 	}
-	out := make([]float64, hi-lo+1)
-	cumA := a.cdfBelow(lo)
-	cumB := b.cdfBelow(lo)
+	out := scratchFloats(ar, hi-lo+1)
+	// Prefix sums: accumulate each operand's CDF below lo in index
+	// order — the same additions, in the same order, that the merge
+	// loop below continues, so the running sums are bit-identical to a
+	// single scan from each operand's first bin. (The dominance
+	// shortcuts above guarantee neither prefix consumes a whole
+	// operand, so no snap-to-1 check is needed here.)
+	cumA, cumB := 0.0, 0.0
+	for k := 0; k < lo-a.i0; k++ {
+		cumA += a.p[k]
+	}
+	for k := 0; k < lo-b.i0; k++ {
+		cumB += b.p[k]
+	}
 	prev := 0.0 // product of CDFs at the previous index; P(max < lo) = 0
 	for i := lo; i <= hi; i++ {
 		if k := i - a.i0; k >= 0 && k < len(a.p) {
@@ -256,33 +361,58 @@ func MaxIndep(a, b *Dist) *Dist {
 		out[i-lo] = m
 		prev = prod
 	}
-	return trim(a.dt, lo, out)
+	return trimInto(ar, a.dt, lo, out)
 }
 
 // Neg returns the distribution of the negated variable: mass at grid
 // point i moves to -i. Used to subtract independent variables by
 // convolution (A - B = A + (-B)).
-func (d *Dist) Neg() *Dist {
-	p := make([]float64, len(d.p))
+func (d *Dist) Neg() *Dist { return NegInto(nil, d) }
+
+// NegInto is Neg writing into arena scratch (nil arena allocates).
+//
+// An empty support panics: a zero-length mass vector violates the
+// nonzero-mass invariant every constructor maintains, and the
+// historical behavior — returning a headerless distribution whose i0
+// arithmetic was computed from len(p)-1 = -1 — produced a corrupt value
+// that only failed far downstream.
+func NegInto(ar *Arena, d *Dist) *Dist {
+	if len(d.p) == 0 {
+		panic("dist: Neg of an empty distribution (zero-length support violates the nonzero-mass invariant)")
+	}
+	p := scratchFloats(ar, len(d.p))
 	for i, v := range d.p {
 		p[len(p)-1-i] = v
 	}
-	return &Dist{dt: d.dt, i0: -(d.i0 + len(d.p) - 1), p: p}
+	i0 := -(d.i0 + len(d.p) - 1)
+	if ar == nil {
+		return &Dist{dt: d.dt, i0: i0, p: p}
+	}
+	return ar.newDist(d.dt, i0, p)
 }
 
 // SubConvolve returns the distribution of the difference A - B of two
 // independent variables — the backward-propagation step of required-time
 // analysis (required at a fanin = required at the fanout minus the edge
 // delay). Exact on the lattice: indices subtract.
-func SubConvolve(a, b *Dist) *Dist {
-	return Convolve(a, b.Neg())
+func SubConvolve(a, b *Dist) *Dist { return SubConvolveInto(nil, a, b) }
+
+// SubConvolveInto is SubConvolve with both the negation and the
+// convolution working in arena scratch (nil arena allocates).
+func SubConvolveInto(ar *Arena, a, b *Dist) *Dist {
+	return ConvolveInto(ar, a, NegInto(ar, b))
 }
 
 // MinIndep returns the distribution of the minimum of two independent
 // variables — the fanout merge of backward required-time propagation:
 // the survival function of the result is the product of the operand
 // survival functions, evaluated bin by bin on the common grid.
-func MinIndep(a, b *Dist) *Dist {
+func MinIndep(a, b *Dist) *Dist { return MinIndepInto(nil, a, b) }
+
+// MinIndepInto is MinIndep writing into arena scratch (nil arena
+// allocates); the dominance shortcuts return the operand itself, as in
+// MaxIndepInto.
+func MinIndepInto(ar *Arena, a, b *Dist) *Dist {
 	// A strictly-earlier operand dominates outright: when one support
 	// ends at or before the other begins, the minimum IS the earlier
 	// operand — returned as-is, bit for bit (the mirror image of
@@ -302,9 +432,10 @@ func MinIndep(a, b *Dist) *Dist {
 	if bHi < hi {
 		hi = bHi
 	}
-	out := make([]float64, hi-lo+1)
-	cumA := a.cdfBelow(lo)
-	cumB := b.cdfBelow(lo)
+	out := scratchFloats(ar, hi-lo+1)
+	// lo is the smaller i0, so both CDFs below lo are exactly zero — the
+	// prefix sums MaxIndepInto accumulates are trivial here.
+	cumA, cumB := 0.0, 0.0
 	// P(min <= t) = 1 - (1-Fa)(1-Fb); accumulate mass per bin as the
 	// CDF difference, with the same snap-to-1 protection as MaxIndep.
 	prev := 1 - (1-cumA)*(1-cumB)
@@ -329,29 +460,7 @@ func MinIndep(a, b *Dist) *Dist {
 		out[i-lo] = m
 		prev = cur
 	}
-	return trim(a.dt, lo, out)
-}
-
-// cdfBelow returns the cumulative probability strictly before absolute
-// grid index i.
-func (d *Dist) cdfBelow(i int) float64 {
-	if i <= d.i0 {
-		return 0
-	}
-	n := i - d.i0
-	if n >= len(d.p) {
-		n = len(d.p)
-	}
-	cum := 0.0
-	for k := 0; k < n; k++ {
-		cum += d.p[k]
-	}
-	// Same snap as MaxIndep's running sums: a fully-consumed
-	// distribution reports CDF exactly 1.
-	if n == len(d.p) && math.Abs(cum-1) < probEps {
-		cum = 1
-	}
-	return cum
+	return trimInto(ar, a.dt, lo, out)
 }
 
 // ApproxEqual reports whether two distributions assign the same mass to

@@ -43,6 +43,15 @@ func Workers(n int) int {
 // against. For a sequence of dependent batches (the SSTA levels), use a
 // Pool, which amortizes worker startup across batches.
 func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return RunIndexed(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// RunIndexed is Run with the worker ordinal (in [0, workers)) passed to
+// fn alongside the index — the hook per-worker scratch state (arenas,
+// reusable maps) keys off. Which ordinal processes which index is
+// scheduling-dependent; everything else about the contract matches Run,
+// and the serial degenerate case always reports ordinal 0.
+func RunIndexed(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -52,7 +61,7 @@ func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	p := NewPool(workers)
 	defer p.Close()
-	return p.Run(ctx, n, fn)
+	return p.RunIndexed(ctx, n, fn)
 }
 
 // Pool is a long-lived set of workers that process successive batches
@@ -71,7 +80,7 @@ type Pool struct {
 type batch struct {
 	ctx  context.Context
 	n    int
-	fn   func(int) error
+	fn   func(worker, i int) error
 	next atomic.Int64
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -93,15 +102,20 @@ func NewPool(workers int) *Pool {
 	for i := range p.chans {
 		ch := make(chan *batch, 1)
 		p.chans[i] = ch
+		worker := i
 		go func() {
 			for b := range ch {
-				b.work()
+				b.work(worker)
 				b.wg.Done()
 			}
 		}()
 	}
 	return p
 }
+
+// NumWorkers returns the pool's normalized worker count — the bound on
+// the worker ordinals RunIndexed reports.
+func (p *Pool) NumWorkers() int { return p.workers }
 
 // Close stops the pool's workers. The pool must not be used afterwards.
 func (p *Pool) Close() {
@@ -113,6 +127,12 @@ func (p *Pool) Close() {
 // Run processes one batch through the pool and waits for the barrier:
 // fn(i) for every i in [0, n), same contract as the package-level Run.
 func (p *Pool) Run(ctx context.Context, n int, fn func(i int) error) error {
+	return p.RunIndexed(ctx, n, func(_, i int) error { return fn(i) })
+}
+
+// RunIndexed is Run with the worker ordinal passed to fn (see the
+// package-level RunIndexed).
+func (p *Pool) RunIndexed(ctx context.Context, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -121,7 +141,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -141,7 +161,7 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(i int) error) error {
 
 // work drains indices from the batch until exhaustion, failure or
 // cancellation.
-func (b *batch) work() {
+func (b *batch) work(worker int) {
 	for {
 		if b.stop.Load() {
 			return
@@ -154,7 +174,7 @@ func (b *batch) work() {
 		if i >= b.n {
 			return
 		}
-		if err := b.fn(i); err != nil {
+		if err := b.fn(worker, i); err != nil {
 			b.mu.Lock()
 			if i < b.firstI {
 				b.firstI, b.firstE = i, err

@@ -107,3 +107,64 @@ func TestWorkersNormalization(t *testing.T) {
 		t.Error("positive parallelism must pass through")
 	}
 }
+
+// TestRunIndexedWorkerOrdinals: every index is processed exactly once
+// and every reported worker ordinal is within [0, workers) — the
+// contract per-worker scratch arenas key off.
+func TestRunIndexedWorkerOrdinals(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 200
+		seen := make([]int32, n)
+		byWorker := make([]atomic.Int64, workers)
+		err := RunIndexed(context.Background(), workers, n, func(w, i int) error {
+			if w < 0 || w >= workers {
+				t.Errorf("worker ordinal %d out of [0,%d)", w, workers)
+			}
+			atomic.AddInt32(&seen[i], 1)
+			byWorker[w].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int64(0)
+		for i := range seen {
+			if seen[i] != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, seen[i])
+			}
+		}
+		for w := range byWorker {
+			total += byWorker[w].Load()
+		}
+		if total != n {
+			t.Fatalf("workers=%d: %d total invocations, want %d", workers, total, n)
+		}
+		if workers == 1 && byWorker[0].Load() != n {
+			t.Error("serial path must report ordinal 0 for every index")
+		}
+	}
+}
+
+// TestPoolRunIndexedSerialOrdinal: a serial pool reports ordinal 0 and
+// runs on the calling goroutine in index order.
+func TestPoolRunIndexedSerialOrdinal(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if p.NumWorkers() != 1 {
+		t.Fatalf("NumWorkers = %d, want 1", p.NumWorkers())
+	}
+	last := -1
+	err := p.RunIndexed(context.Background(), 10, func(w, i int) error {
+		if w != 0 {
+			t.Errorf("serial pool reported worker %d", w)
+		}
+		if i != last+1 {
+			t.Errorf("serial pool ran index %d after %d", i, last)
+		}
+		last = i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -70,6 +70,13 @@ type Session struct {
 	workers int // worker bound for parallel evaluation (>= 1)
 	closed  bool
 
+	// scratch holds one reusable what-if evaluation state per worker:
+	// kernel arena plus overlay maps, recycled across WhatIf calls and
+	// batches so a warm sweep's steady-state allocations are only what
+	// escapes (the persisted sink distributions). Guarded by mu like
+	// everything else; worker w of a batch touches only scratch[w].
+	scratch []*ssta.Scratch
+
 	// deadline overrides the slack reference; when unset the current
 	// objective value of the sink distribution is used.
 	deadline    float64
@@ -150,6 +157,10 @@ func Open(ctx context.Context, d *design.Design, dt float64, obj Objective, work
 		return nil, err
 	}
 	s := &Session{d: d, a: a, obj: obj, workers: workers}
+	s.scratch = make([]*ssta.Scratch, workers)
+	for i := range s.scratch {
+		s.scratch[i] = ssta.NewScratch()
+	}
 	s.stats.TotalNodes = d.E.G.NumNodes() - 1 // every node but the source
 	s.tx.s = s
 	return s, nil

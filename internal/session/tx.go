@@ -96,7 +96,7 @@ func (t *Tx) WhatIf(ctx context.Context, g netlist.GateID, w float64) (WhatIfRes
 // WhatIfBatch: the propagation (whatIfSink) followed by the objective
 // summary (finishWhatIf).
 func (t *Tx) evalWhatIf(ctx context.Context, base float64, g netlist.GateID, w float64) (WhatIfResult, error) {
-	wEff, sink, visited, err := t.whatIfSink(ctx, g, w)
+	wEff, sink, visited, err := t.whatIfSink(ctx, g, w, t.s.scratch[0])
 	if err != nil {
 		return WhatIfResult{}, err
 	}
@@ -107,13 +107,14 @@ func (t *Tx) evalWhatIf(ctx context.Context, base float64, g netlist.GateID, w f
 // perturbed sink distribution. It only reads session state (the
 // design's widths, the base analysis), so WhatIfBatch may invoke it
 // from several goroutines at once while the session lock pins that
-// state. The user-supplied Objective is deliberately NOT evaluated
-// here: objectives carry no thread-safety requirement, so their Eval
-// runs only on the merging goroutine (finishWhatIf).
-func (t *Tx) whatIfSink(ctx context.Context, g netlist.GateID, w float64) (float64, *dist.Dist, int, error) {
+// state — each goroutine with its own Scratch. The user-supplied
+// Objective is deliberately NOT evaluated here: objectives carry no
+// thread-safety requirement, so their Eval runs only on the merging
+// goroutine (finishWhatIf).
+func (t *Tx) whatIfSink(ctx context.Context, g netlist.GateID, w float64, sc *ssta.Scratch) (float64, *dist.Dist, int, error) {
 	s := t.s
 	wEff := s.d.Lib.ClampWidth(w)
-	sink, visited, err := s.a.WhatIf(ctx, g, wEff)
+	sink, visited, err := s.a.WhatIfScratch(ctx, g, wEff, sc)
 	if err != nil {
 		return 0, nil, visited, err
 	}
@@ -166,8 +167,8 @@ func (t *Tx) WhatIfBatch(ctx context.Context, candidates []Candidate) ([]WhatIfR
 		visited int
 	}
 	props := make([]propagated, len(candidates))
-	err := par.Run(ctx, s.workers, len(candidates), func(i int) error {
-		wEff, sink, visited, err := t.whatIfSink(ctx, candidates[i].Gate, candidates[i].Width)
+	err := par.RunIndexed(ctx, s.workers, len(candidates), func(w, i int) error {
+		wEff, sink, visited, err := t.whatIfSink(ctx, candidates[i].Gate, candidates[i].Width, s.scratch[w])
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,12 @@ const cancelCheckStride = 64
 
 // Analysis is a completed SSTA pass over a design at fixed grid
 // resolution. Arrival distributions are indexed by graph node.
+//
+// Every distribution reachable through an Analysis (arrivals, edge
+// delays, required times) is an immutable shared heap value — never
+// arena scratch — so queries, snapshots and concurrent read-only
+// evaluations (WhatIf) can hold onto them freely; see DESIGN.md,
+// "Memory model".
 type Analysis struct {
 	D  *design.Design
 	DT float64
@@ -48,6 +54,13 @@ type Analysis struct {
 	// ComputeRequired and invalidated by every arrival mutation.
 	required []*dist.Dist
 	deadline *dist.Dist
+
+	// scratch is the kernel arena of the serial mutating passes
+	// (ResizeCommit, ComputeRequired). Those passes already require
+	// exclusive access to the analysis, so one arena suffices; the
+	// read-only concurrent paths (WhatIf) carry their own Scratch.
+	// Not part of Snapshot/Restore state.
+	scratch *dist.Arena
 }
 
 // Analyze runs a full statistical timing analysis on grid dt with one
@@ -79,6 +92,7 @@ func AnalyzeParallel(ctx context.Context, d *design.Design, dt float64, workers 
 		DT:      dt,
 		arrival: make([]*dist.Dist, g.NumNodes()),
 		edge:    make([]*dist.Dist, g.NumEdges()),
+		scratch: dist.NewArena(),
 	}
 	// One pool serves the edge builds and every level of the forward
 	// pass: levels are numerous and individually small, so worker
@@ -96,15 +110,31 @@ func AnalyzeParallel(ctx context.Context, d *design.Design, dt float64, workers 
 	if err != nil {
 		return nil, wrapAnalyzeErr(err)
 	}
+	// One kernel arena and one persist keeper per pool worker: a node's
+	// convolve/max intermediates live in its worker's arena and die at
+	// the next node's Reset; the final trimmed arrival is compacted
+	// into the worker's keeper (bulk heap slabs — O(1) amortized
+	// allocations per node). Workers never share either, so the hot
+	// path carries no synchronization. The keepers are dropped with
+	// this stack frame; their slabs live on exactly as long as the
+	// arrivals carved from them.
+	arenas := make([]*dist.Arena, pool.NumWorkers())
+	keepers := make([]*dist.Keeper, pool.NumWorkers())
+	for i := range arenas {
+		arenas[i] = dist.NewArena()
+		keepers[i] = dist.NewKeeper()
+	}
 	a.arrival[g.Source()] = dist.Point(dt, 0)
 	for _, level := range levelNodes(g) {
 		nodes := level
-		err := pool.Run(ctx, len(nodes), func(i int) error {
-			arr, err := a.arrivalOrErr(nodes[i])
+		err := pool.RunIndexed(ctx, len(nodes), func(w, i int) error {
+			ar := arenas[w]
+			ar.Reset()
+			arr, err := a.arrivalOrErr(nodes[i], ar)
 			if err != nil {
 				return err
 			}
-			a.arrival[nodes[i]] = arr
+			a.arrival[nodes[i]] = keepers[w].Persist(arr)
 			return nil
 		})
 		if err != nil {
@@ -147,8 +177,8 @@ func levelNodes(g *graph.Graph) [][]graph.NodeID {
 // malformed elaboration — graph validation should make this impossible)
 // into a diagnostic error instead of letting the nil arrival propagate
 // into a downstream Convolve or SinkDist deref.
-func (a *Analysis) arrivalOrErr(n graph.NodeID) (*dist.Dist, error) {
-	arr := a.computeArrival(n, nil, nil)
+func (a *Analysis) arrivalOrErr(n graph.NodeID, ar *dist.Arena) (*dist.Dist, error) {
+	arr := a.computeArrival(n, nil, nil, ar)
 	if arr == nil {
 		return nil, fmt.Errorf("ssta: node %d has no fanin edges (disconnected or malformed elaboration)", n)
 	}
@@ -161,10 +191,16 @@ func (a *Analysis) arrivalOrErr(n graph.NodeID) (*dist.Dist, error) {
 // base analysis. This is the single implementation of the SSTA max/conv
 // step shared by the full pass, incremental recompute, and the
 // optimizer's perturbation-front propagation.
+//
+// With a non-nil arena the result (and every intermediate) is arena
+// scratch — the caller decides when to Reset and must Persist anything
+// it retains. A nil arena reproduces the historical allocating
+// behavior. Either way the values are bit-identical.
 func (a *Analysis) computeArrival(
 	n graph.NodeID,
 	arrOverlay func(graph.NodeID) *dist.Dist,
 	delayOverlay func(graph.EdgeID) *dist.Dist,
+	ar *dist.Arena,
 ) *dist.Dist {
 	g := a.D.E.G
 	var acc *dist.Dist
@@ -184,25 +220,38 @@ func (a *Analysis) computeArrival(
 		}
 		term := from
 		if delay != nil {
-			term = dist.Convolve(from, delay)
+			term = dist.ConvolveInto(ar, from, delay)
 		}
 		if acc == nil {
 			acc = term
 		} else {
-			acc = dist.MaxIndep(acc, term)
+			acc = dist.MaxIndepInto(ar, acc, term)
 		}
 	}
 	return acc
 }
 
 // ArrivalWithOverlay exposes computeArrival for the optimizer's
-// perturbation fronts.
+// perturbation fronts, on the allocating path.
 func (a *Analysis) ArrivalWithOverlay(
 	n graph.NodeID,
 	arrOverlay func(graph.NodeID) *dist.Dist,
 	delayOverlay func(graph.EdgeID) *dist.Dist,
 ) *dist.Dist {
-	return a.computeArrival(n, arrOverlay, delayOverlay)
+	return a.computeArrival(n, arrOverlay, delayOverlay, nil)
+}
+
+// ArrivalWithOverlayInto is ArrivalWithOverlay computing through the
+// caller's arena: the returned distribution is scratch (Persist before
+// retaining it) unless it is one of the base/overlay operands returned
+// by a dominance shortcut.
+func (a *Analysis) ArrivalWithOverlayInto(
+	n graph.NodeID,
+	arrOverlay func(graph.NodeID) *dist.Dist,
+	delayOverlay func(graph.EdgeID) *dist.Dist,
+	ar *dist.Arena,
+) *dist.Dist {
+	return a.computeArrival(n, arrOverlay, delayOverlay, ar)
 }
 
 // Arrival returns the arrival distribution at a node.
@@ -279,12 +328,15 @@ func (a *Analysis) ResizeCommit(ctx context.Context, x netlist.GateID) (int, err
 		if recomputed%cancelCheckStride == 0 && ctx.Err() != nil {
 			return recomputed, fmt.Errorf("ssta: resize commit canceled: %w", ctx.Err())
 		}
-		next := a.computeArrival(n, nil, nil)
+		// Per-node arena cycle: intermediates die here, the surviving
+		// arrival is compacted onto the heap before being retained.
+		a.scratch.Reset()
+		next := a.computeArrival(n, nil, nil, a.scratch)
 		recomputed++
 		if dist.ApproxEqual(next, a.arrival[n], 0) {
 			continue // perturbation died out on this branch
 		}
-		a.arrival[n] = next
+		a.arrival[n] = next.Persist()
 		for _, eid := range g.Out(n) {
 			dirty[g.EdgeAt(eid).To] = true
 		}
@@ -302,19 +354,62 @@ func (a *Analysis) ResizeCommit(ctx context.Context, x netlist.GateID) (int, err
 // nothing is written, any number of goroutines may evaluate different
 // candidates concurrently against one quiescent analysis.
 func (a *Analysis) PerturbedDelays(x netlist.GateID, w float64) (map[graph.EdgeID]*dist.Dist, error) {
+	out := make(map[graph.EdgeID]*dist.Dist)
+	if err := a.PerturbedDelaysInto(x, w, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PerturbedDelaysInto fills a caller-owned (typically scratch-reused)
+// map instead of allocating one; the caller clears it between
+// candidates. The distributions themselves come from the design's
+// delay memo cache, so a sweep revisiting the same discrete widths
+// performs no distribution construction at all.
+func (a *Analysis) PerturbedDelaysInto(x netlist.GateID, w float64, out map[graph.EdgeID]*dist.Dist) error {
 	d := a.D
 	overrides := map[netlist.GateID]float64{x: w}
-	out := make(map[graph.EdgeID]*dist.Dist)
 	for _, gid := range AffectedGates(d, x) {
 		for _, eid := range d.E.GateEdges[gid] {
 			dd, err := d.EdgeDelayDistAtWidths(a.DT, eid, overrides)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			out[eid] = dd
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// Scratch bundles the reusable state of repeated read-only perturbation
+// evaluations (WhatIf): a kernel arena plus the overlay maps, all
+// recycled between calls so a warm candidate sweep allocates only what
+// escapes (the persisted sink distribution). One Scratch serves one
+// goroutine at a time; parallel sweeps hold one per worker.
+type Scratch struct {
+	ar      *dist.Arena
+	delays  map[graph.EdgeID]*dist.Dist
+	overlay map[graph.NodeID]*dist.Dist
+	dirty   map[graph.NodeID]bool
+}
+
+// NewScratch returns an empty Scratch; capacity accumulates with use.
+func NewScratch() *Scratch {
+	return &Scratch{
+		ar:      dist.NewArena(),
+		delays:  make(map[graph.EdgeID]*dist.Dist),
+		overlay: make(map[graph.NodeID]*dist.Dist),
+		dirty:   make(map[graph.NodeID]bool),
+	}
+}
+
+// reset rewinds the arena and empties the maps while keeping their
+// buckets — the zero-allocation warm path.
+func (sc *Scratch) reset() {
+	sc.ar.Reset()
+	clear(sc.delays)
+	clear(sc.overlay)
+	clear(sc.dirty)
 }
 
 // WhatIf propagates the perturbation of resizing gate x to width w
@@ -330,18 +425,30 @@ func (a *Analysis) PerturbedDelays(x netlist.GateID, w float64) (map[graph.EdgeI
 // concurrent WhatIf calls on one quiescent Analysis are safe — the
 // property Session.WhatIfBatch fans candidate evaluations out on.
 func (a *Analysis) WhatIf(ctx context.Context, x netlist.GateID, w float64) (*dist.Dist, int, error) {
+	return a.WhatIfScratch(ctx, x, w, nil)
+}
+
+// WhatIfScratch is WhatIf evaluating through a reusable Scratch: the
+// perturbation overlays live in the scratch arena for the duration of
+// the call (no reset until the next call on the same Scratch), and only
+// the returned sink distribution is compacted onto the heap. A nil
+// scratch allocates a transient one — semantically identical, just not
+// amortized. The returned distribution is always safe to retain.
+func (a *Analysis) WhatIfScratch(ctx context.Context, x netlist.GateID, w float64, sc *Scratch) (*dist.Dist, int, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	sc.reset()
 	g := a.D.E.G
-	delays, err := a.PerturbedDelays(x, w)
-	if err != nil {
+	if err := a.PerturbedDelaysInto(x, w, sc.delays); err != nil {
 		return nil, 0, err
 	}
-	overlay := make(map[graph.NodeID]*dist.Dist)
-	dirty := make(map[graph.NodeID]bool)
+	overlay, dirty := sc.overlay, sc.dirty
 	for _, gid := range AffectedGates(a.D, x) {
 		dirty[a.D.E.NodeOf[a.D.NL.Gate(gid).Out]] = true
 	}
 	arrOverlay := func(n graph.NodeID) *dist.Dist { return overlay[n] }
-	delayOverlay := func(e graph.EdgeID) *dist.Dist { return delays[e] }
+	delayOverlay := func(e graph.EdgeID) *dist.Dist { return sc.delays[e] }
 	visited := 0
 	for _, n := range g.Topo() {
 		if !dirty[n] {
@@ -350,7 +457,7 @@ func (a *Analysis) WhatIf(ctx context.Context, x netlist.GateID, w float64) (*di
 		if visited%cancelCheckStride == 0 && ctx.Err() != nil {
 			return nil, visited, fmt.Errorf("ssta: what-if canceled: %w", ctx.Err())
 		}
-		pert := a.computeArrival(n, arrOverlay, delayOverlay)
+		pert := a.computeArrival(n, arrOverlay, delayOverlay, sc.ar)
 		visited++
 		if dist.ApproxEqual(pert, a.arrival[n], 0) {
 			continue // perturbation died out on this branch
@@ -361,7 +468,7 @@ func (a *Analysis) WhatIf(ctx context.Context, x netlist.GateID, w float64) (*di
 		}
 	}
 	if o := overlay[g.Sink()]; o != nil {
-		return o, visited, nil
+		return o.Persist(), visited, nil
 	}
 	return a.arrival[g.Sink()], visited, nil
 }
@@ -380,6 +487,9 @@ func (a *Analysis) ComputeRequired(ctx context.Context, deadline *dist.Dist) err
 	req := make([]*dist.Dist, g.NumNodes())
 	topo := g.Topo()
 	req[g.Sink()] = deadline
+	// Pass-scoped persist keeper, like the forward pass's (see
+	// AnalyzeParallel); the backward pass is serial, so one suffices.
+	keeper := dist.NewKeeper()
 	for i := len(topo) - 1; i >= 0; i-- {
 		if i%cancelCheckStride == 0 && ctx.Err() != nil {
 			return fmt.Errorf("ssta: required-time pass canceled: %w", ctx.Err())
@@ -388,17 +498,25 @@ func (a *Analysis) ComputeRequired(ctx context.Context, deadline *dist.Dist) err
 		if n == g.Sink() {
 			continue
 		}
+		// Same per-node arena cycle as the forward passes: the
+		// SubConvolve negation/convolution temporaries and losing
+		// MinIndep accumulators stay in scratch, the surviving required
+		// time is compacted before retention.
+		a.scratch.Reset()
 		var acc *dist.Dist
 		for _, eid := range g.Out(n) {
 			t := req[g.EdgeAt(eid).To]
 			if dd := a.edge[eid]; dd != nil {
-				t = dist.SubConvolve(t, dd)
+				t = dist.SubConvolveInto(a.scratch, t, dd)
 			}
 			if acc == nil {
 				acc = t
 			} else {
-				acc = dist.MinIndep(acc, t)
+				acc = dist.MinIndepInto(a.scratch, acc, t)
 			}
+		}
+		if acc != nil {
+			acc = keeper.Persist(acc)
 		}
 		req[n] = acc
 	}

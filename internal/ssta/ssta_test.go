@@ -283,7 +283,7 @@ func TestZeroFaninDiagnostic(t *testing.T) {
 	d := newDesign(t, "c17")
 	a := analyze(t, d, 400)
 	src := d.E.G.Source()
-	if arr, err := a.arrivalOrErr(src); err == nil || arr != nil {
+	if arr, err := a.arrivalOrErr(src, nil); err == nil || arr != nil {
 		t.Fatalf("zero-fanin node: arrival %v, err %v — want nil arrival with diagnostic error", arr, err)
 	} else if !strings.Contains(err.Error(), "no fanin edges") {
 		t.Errorf("diagnostic %q does not name the zero-fanin condition", err)
