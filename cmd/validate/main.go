@@ -1,0 +1,114 @@
+// Command validate runs the statistical correctness oracle: a
+// randomized corpus of generated circuits (plus optional ISCAS
+// replicas) is swept through the full SSTA stack and checked against
+// Monte Carlo ground truth under DKW-derived tolerances, alongside the
+// metamorphic property suite. Failures print minimized reproducer
+// specs that feed straight back into -spec.
+//
+// Usage:
+//
+//	validate [-corpus.n N] [-seed S] [-max-gates G] [-samples M]
+//	         [-iscas c432,c880|all|none] [-shrink B] [-q]
+//	validate -spec 'circuitgen.Spec{Name: "reconv-008", ...}'
+//
+// Exit status: 0 all checks pass, 1 violations found, 2 usage or
+// infrastructure error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+	"statsize/internal/validate"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	opts := validate.DefaultOptions()
+	fs.IntVar(&opts.Corpus.N, "corpus.n", 100, "random corpus size")
+	fs.Int64Var(&opts.Corpus.Seed, "seed", opts.Corpus.Seed, "corpus master seed")
+	fs.IntVar(&opts.Corpus.MaxGates, "max-gates", 200, "per-circuit gate ceiling")
+	fs.IntVar(&opts.Oracle.Samples, "samples", opts.Oracle.Samples, "Monte Carlo samples per circuit")
+	fs.IntVar(&opts.Oracle.Bins, "bins", opts.Oracle.Bins, "SSTA grid bins")
+	fs.Float64Var(&opts.Oracle.Alpha, "alpha", opts.Oracle.Alpha, "DKW band miss probability")
+	fs.IntVar(&opts.ShrinkBudget, "shrink", opts.ShrinkBudget, "circuit regenerations per failure minimization (0 disables)")
+	iscas := fs.String("iscas", "c432,c880", `ISCAS replicas to include: comma list, "all", or "none"`)
+	spec := fs.String("spec", "", "validate a single reproducer spec literal instead of a corpus")
+	quiet := fs.Bool("q", false, "suppress per-circuit progress, print only the summary")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	switch *iscas {
+	case "all":
+		opts.ISCAS = circuitgen.Names()
+	case "none", "":
+		opts.ISCAS = nil
+	default:
+		opts.ISCAS = strings.Split(*iscas, ",")
+	}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	lib := cell.Default180nm()
+	if *spec != "" {
+		return runSingle(ctx, lib, *spec, opts)
+	}
+	sum, err := validate.Run(ctx, lib, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		return 2
+	}
+	if *quiet {
+		fmt.Print(sum.ReportTail())
+	} else {
+		fmt.Printf("\n%s", sum.ReportTail())
+	}
+	if !sum.Ok() {
+		return 1
+	}
+	return 0
+}
+
+// runSingle re-validates one reproducer spec.
+func runSingle(ctx context.Context, lib *cell.Library, literal string, opts validate.Options) int {
+	sp, err := circuitgen.ParseSpec(strings.TrimSpace(literal))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		return 2
+	}
+	rep, err := validate.RunOracle(ctx, lib, sp, opts.Oracle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		return 2
+	}
+	fmt.Println(rep)
+	failed := !rep.Pass
+	for _, prop := range validate.Properties() {
+		if err := prop.Run(ctx, lib, sp); err != nil {
+			fmt.Printf("%-20s FAIL: %v\n", prop.Name, err)
+			failed = true
+		} else {
+			fmt.Printf("%-20s ok\n", prop.Name)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

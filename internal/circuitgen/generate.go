@@ -68,7 +68,9 @@ func Generate(lib *cell.Library, sp Spec) (*netlist.Netlist, error) {
 func generateOnce(lib *cell.Library, sp Spec, seed int64, taper float64) (*netlist.Netlist, error) {
 	g := &gen{sp: sp, lib: lib, rng: rand.New(rand.NewSource(seed)), taper: taper}
 	g.assignShapes()
-	g.wire()
+	if err := g.wire(); err != nil {
+		return nil, err
+	}
 	if err := g.fixDangling(); err != nil {
 		return nil, err
 	}
@@ -138,7 +140,10 @@ func (g *gen) assignShapes() {
 			top = append(top, i)
 		}
 	}
-	for len(top) > topCap {
+	// With depth 1 there is no lower level to move a gate to; every
+	// gate is a forced PO and the PO-budget check in fixDangling
+	// decides feasibility.
+	for depth > 1 && len(top) > topCap {
 		i := top[len(top)-1]
 		top = top[:len(top)-1]
 		level[i] = 1 + rng.Intn(depth-1)
@@ -219,7 +224,12 @@ func (g *gen) pickKind(fanin int) cell.Kind {
 // strictly lower levels with a geometric bias toward nearby levels —
 // which yields the reconvergent fanout structure the paper's Section 2
 // discusses.
-func (g *gen) wire() {
+//
+// Wiring fails (with an error, so Generate's retry walk can redistribute
+// levels and fanins under a derived seed) when a gate cannot find enough
+// distinct nets below it — e.g. a wide gate landing on level 1 of a
+// circuit with fewer primary inputs than the gate has pins.
+func (g *gen) wire() error {
 	sp, rng := g.sp, g.rng
 	g.nets = make([]irNet, 0, sp.PIs+len(g.gates))
 	g.byLvl = make([][]int, sp.Depth+1)
@@ -238,13 +248,19 @@ func (g *gen) wire() {
 	for _, gi := range order {
 		L := g.gates[gi].level
 		ins := g.gates[gi].ins
-		ins[0] = g.pickNetAt(L-1, ins[:0])
+		var ok bool
+		if ins[0], ok = g.pickNetAt(L-1, ins[:0]); !ok {
+			return fmt.Errorf("circuitgen %s: no anchor net below level %d", sp.Name, L)
+		}
 		for p := 1; p < len(ins); p++ {
 			lv := L - 1
 			for lv > 0 && rng.Float64() > 0.55 {
 				lv--
 			}
-			ins[p] = g.pickNetAt(lv, ins[:p])
+			if ins[p], ok = g.pickNetAt(lv, ins[:p]); !ok {
+				return fmt.Errorf("circuitgen %s: only %d distinct nets below level %d for a %d-input gate",
+					sp.Name, p, L, len(ins))
+			}
 		}
 		for _, in := range ins {
 			g.nets[in].readers++
@@ -254,13 +270,15 @@ func (g *gen) wire() {
 		g.byLvl[L] = append(g.byLvl[L], id)
 		g.nets = append(g.nets, irNet{level: L, driver: gi})
 	}
+	return nil
 }
 
 // pickNetAt returns a net at the requested level (walking down if the
-// level is empty) that is not already among taken. Unread nets are
+// level is empty) that is not already among taken, reporting failure
+// when every net at or below the level is taken. Unread nets are
 // strongly preferred, mirroring synthesized circuits where nearly every
 // net is consumed; this keeps the dangling set close to the PO budget.
-func (g *gen) pickNetAt(level int, taken []int) int {
+func (g *gen) pickNetAt(level int, taken []int) (int, bool) {
 	for lv := level; lv >= 0; lv-- {
 		cands := g.byLvl[lv]
 		if len(cands) == 0 {
@@ -274,22 +292,22 @@ func (g *gen) pickNetAt(level int, taken []int) int {
 				}
 			}
 			if len(unread) > 0 {
-				return unread[g.rng.Intn(len(unread))]
+				return unread[g.rng.Intn(len(unread))], true
 			}
 		}
 		for try := 0; try < 12; try++ {
 			n := cands[g.rng.Intn(len(cands))]
 			if !contains(taken, n) {
-				return n
+				return n, true
 			}
 		}
 		for _, n := range cands {
 			if !contains(taken, n) {
-				return n
+				return n, true
 			}
 		}
 	}
-	panic(fmt.Sprintf("circuitgen %s: no candidate net below level %d", g.sp.Name, level+1))
+	return 0, false
 }
 
 func contains(s []int, v int) bool {

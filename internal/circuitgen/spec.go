@@ -30,6 +30,16 @@ type Spec struct {
 	Seed  int64
 }
 
+// GoString renders the spec as a self-contained Go composite literal,
+// the exchange format of the validation oracle's failure reproducers: a
+// corpus failure prints its (minimized) spec in exactly this form, and
+// pasting it into a test or cmd/validate -spec regenerates the same
+// circuit bit for bit.
+func (sp Spec) GoString() string {
+	return fmt.Sprintf("circuitgen.Spec{Name: %q, Nodes: %d, Edges: %d, PIs: %d, POs: %d, Depth: %d, Seed: %d}",
+		sp.Name, sp.Nodes, sp.Edges, sp.PIs, sp.POs, sp.Depth, sp.Seed)
+}
+
 // Gates returns the implied gate count: every non-PI net is driven by
 // exactly one gate, and source/sink account for the remaining two nodes.
 func (sp Spec) Gates() int { return sp.Nodes - sp.PIs - 2 }
@@ -76,6 +86,20 @@ var ISCAS85 = []Spec{
 	{Name: "c5315", Nodes: 1806, Edges: 3311, PIs: 178, POs: 123, Depth: 49, Seed: 5315},
 	{Name: "c6288", Nodes: 2503, Edges: 4999, PIs: 32, POs: 32, Depth: 100, Seed: 6288},
 	{Name: "c7552", Nodes: 2202, Edges: 3945, PIs: 207, POs: 108, Depth: 43, Seed: 7552},
+}
+
+// ParseSpec parses the GoString literal form back into a Spec — the
+// inverse of Spec.GoString, so a reproducer printed by a failing
+// validation run can be handed straight to cmd/validate -spec.
+func ParseSpec(s string) (Spec, error) {
+	var sp Spec
+	_, err := fmt.Sscanf(s,
+		"circuitgen.Spec{Name: %q, Nodes: %d, Edges: %d, PIs: %d, POs: %d, Depth: %d, Seed: %d}",
+		&sp.Name, &sp.Nodes, &sp.Edges, &sp.PIs, &sp.POs, &sp.Depth, &sp.Seed)
+	if err != nil {
+		return Spec{}, fmt.Errorf("circuitgen: cannot parse spec literal %q: %w", s, err)
+	}
+	return sp, nil
 }
 
 // ByName finds a benchmark spec.

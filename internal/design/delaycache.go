@@ -51,9 +51,10 @@ const delayShardCap = 8 << 10
 // needs no invalidation hooks. (That property is load-bearing — see
 // DESIGN.md, "Memory model".)
 type DelayCache struct {
-	shards [delayShards]delayShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards  [delayShards]delayShard
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	flushes atomic.Uint64
 }
 
 type delayShard struct {
@@ -108,6 +109,7 @@ func (c *DelayCache) DelayDist(lib *cell.Library, dt float64, kind cell.Kind, pi
 	sh.mu.Lock()
 	if len(sh.m) >= delayShardCap {
 		sh.m = make(map[delayKey]*dist.Dist)
+		c.flushes.Add(1)
 	}
 	// A racing goroutine may have stored the same key meanwhile; both
 	// computed identical values, so last-write-wins is harmless.
@@ -116,9 +118,12 @@ func (c *DelayCache) DelayDist(lib *cell.Library, dt float64, kind cell.Kind, pi
 	return d, nil
 }
 
-// Stats reports the cumulative hit/miss counters.
-func (c *DelayCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// Stats reports the cumulative hit/miss counters and the number of
+// whole-shard flushes the capacity bound has forced. A non-zero flush
+// count under a lattice-respecting workload means the cache is being
+// fed continuous widths and is cycling instead of converging.
+func (c *DelayCache) Stats() (hits, misses, flushes uint64) {
+	return c.hits.Load(), c.misses.Load(), c.flushes.Load()
 }
 
 // Len returns the number of cached entries across all shards.

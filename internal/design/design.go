@@ -172,15 +172,24 @@ func (d *Design) delayDist(dt float64, kind cell.Kind, pin int, w, load float64)
 	return d.delays.DelayDist(d.Lib, dt, kind, pin, w, load)
 }
 
-// DelayCacheStats reports the hit/miss counters and entry count of the
-// delay-distribution memo cache.
-func (d *Design) DelayCacheStats() (hits, misses uint64, entries int) {
+// DelayCacheStats reports the hit/miss/flush counters and entry count
+// of the delay-distribution memo cache (all zero when the cache has
+// been dropped).
+func (d *Design) DelayCacheStats() (hits, misses, flushes uint64, entries int) {
 	if d.delays == nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	hits, misses = d.delays.Stats()
-	return hits, misses, d.delays.Len()
+	hits, misses, flushes = d.delays.Stats()
+	return hits, misses, flushes, d.delays.Len()
 }
+
+// DropDelayCache detaches the delay-distribution memo cache from this
+// design (and only this design — clones sharing the cache keep it), so
+// every subsequent delay evaluation goes straight to the library. The
+// validation suite uses this to prove cache transparency: an analysis
+// with the cache must be bit-identical to one without. Not intended
+// for production paths, where the cache is always a win.
+func (d *Design) DropDelayCache() { d.delays = nil }
 
 // WidthAt returns gate g's width under a hypothetical assignment:
 // the override when present (clamped to the library's sizing range,

@@ -109,11 +109,12 @@ const (
 // Keeper compacts scratch views into immutable heap distributions in
 // bulk: mass vectors pack into shared append-only slabs, headers into
 // chunks, so persisting N distributions costs O(N/chunk) allocations
-// instead of 2·N. Unlike an Arena a Keeper never resets — its memory
-// lives exactly as long as any distribution carved from it, which is
-// why keepers are pass-scoped (one forward or backward pass, then
-// dropped): an analysis-lifetime keeper would pin every superseded
-// arrival for the life of the analysis.
+// instead of 2·N. Unlike an Arena a Keeper never recycles memory — a
+// distribution carved from it is immutable forever, and its slab lives
+// exactly as long as any distribution carved from that slab. Keepers
+// are therefore pass-scoped: one forward or backward pass, then Reset
+// (or dropped); carving a second pass from the same slabs would chain
+// the first pass's memory lifetime to the second's.
 //
 // A Keeper serves one goroutine; parallel passes hold one per worker.
 type Keeper struct {
@@ -123,6 +124,17 @@ type Keeper struct {
 
 // NewKeeper returns an empty keeper; slabs are acquired as needed.
 func NewKeeper() *Keeper { return &Keeper{} }
+
+// Reset marks a pass boundary, readying the keeper for reuse. It
+// forgets the current slab and header tails — it does NOT recycle them,
+// so every distribution persisted before the Reset stays valid forever
+// — and thereby cuts the memory-lifetime link between passes: once the
+// previous pass's distributions die, their slabs go with them, even
+// while the keeper lives on persisting the next pass.
+func (k *Keeper) Reset() {
+	k.slab = nil
+	k.hdrs = nil
+}
 
 // Persist returns d unchanged when it is already an immutable heap
 // value, or a compact keeper-backed copy when it is arena scratch —

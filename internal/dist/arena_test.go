@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"unsafe"
 )
 
 // randDist builds a random-support distribution for the equivalence
@@ -385,4 +386,57 @@ func TestKeeperPersist(t *testing.T) {
 	if kp.Persist(h) != h {
 		t.Error("keeper copied a heap distribution")
 	}
+}
+
+// TestKeeperReuseAfterReset: a keeper reused across pass boundaries via
+// Reset keeps every previously persisted distribution bit-identical —
+// Reset forgets the live tails instead of recycling them — and the
+// passes after a Reset persist into fresh slabs, never into memory a
+// prior pass's distributions occupy.
+func TestKeeperReuseAfterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ar, kp := NewArena(), NewKeeper()
+	type kept struct{ want, got *Dist }
+	var all []kept
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 60; i++ {
+			a := randDist(rng, 0.01, 80)
+			b := randDist(rng, 0.01, 50)
+			ar.Reset()
+			v := MaxIndepInto(ar, a, b)
+			g := kp.Persist(v)
+			if g.IsScratch() {
+				t.Fatal("keeper returned a scratch view")
+			}
+			all = append(all, kept{want: MaxIndep(a, b), got: g})
+		}
+		kp.Reset()
+	}
+	for i, k := range all {
+		bitIdentical(t, fmt.Sprintf("kept %d", i), k.want, k.got)
+	}
+}
+
+// TestKeeperResetSeversSlabSharing: distributions persisted on opposite
+// sides of a Reset never share a backing slab, so dropping one pass's
+// distributions frees that pass's memory even while the keeper keeps
+// serving later passes.
+func TestKeeperResetSeversSlabSharing(t *testing.T) {
+	ar, kp := NewArena(), NewKeeper()
+	mk := func() *Dist {
+		ar.Reset()
+		return kp.Persist(ConvolveInto(ar, mustGauss(t, 0.01, 0.5, 0.05), mustGauss(t, 0.01, 0.3, 0.03)))
+	}
+	before := mk()
+	kp.Reset()
+	after := mk()
+	// Had Reset kept the slab, the second Persist would have carved the
+	// float range immediately after the first (slab carving is strictly
+	// sequential); a fresh slab starts somewhere else entirely.
+	adjacent := uintptr(unsafe.Pointer(&before.p[0]))+uintptr(len(before.p))*unsafe.Sizeof(float64(0)) ==
+		uintptr(unsafe.Pointer(&after.p[0]))
+	if adjacent {
+		t.Fatal("post-Reset persist continued carving the pre-Reset slab")
+	}
+	bitIdentical(t, "before vs after", before, after)
 }

@@ -99,9 +99,15 @@ func truncNorm(rng *rand.Rand, k float64) float64 {
 }
 
 // Percentile returns the p-quantile by linear interpolation of the order
-// statistics.
+// statistics. A result holding no samples — possible when a run is
+// canceled before the first cancellation-check stride completes —
+// returns NaN rather than panicking, so callers that keep a partial
+// Result can probe it safely.
 func (r *Result) Percentile(p float64) float64 {
 	n := len(r.Delays)
+	if n == 0 {
+		return math.NaN()
+	}
 	if n == 1 {
 		return r.Delays[0]
 	}

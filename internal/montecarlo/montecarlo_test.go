@@ -2,6 +2,7 @@ package montecarlo
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -111,5 +112,93 @@ func TestRunValidation(t *testing.T) {
 	d := c17Design(t)
 	if _, err := Run(context.Background(), d, 0, 1); err == nil {
 		t.Error("expected error for zero samples")
+	}
+}
+
+// countdownCtx is a context whose Err() flips to context.Canceled after
+// a fixed number of polls — a deterministic stand-in for "the caller
+// cancels while sampling is underway". Run polls at s=0 and then once
+// per cancelCheckStride samples, so a budget of k polls stops the run
+// with exactly k*cancelCheckStride samples drawn.
+type countdownCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls <= 0 {
+		return context.Canceled
+	}
+	c.polls--
+	return nil
+}
+
+// TestRunCancelMidSampling: canceling a run mid-way returns the partial
+// sorted sample set together with a wrapped context error, and the
+// partial result answers statistics queries without panicking.
+func TestRunCancelMidSampling(t *testing.T) {
+	d := c17Design(t)
+	ctx := &countdownCtx{Context: context.Background(), polls: 3}
+	r, err := Run(ctx, d, 100000, 1)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if r == nil {
+		t.Fatal("canceled run returned nil partial result")
+	}
+	if want := 3 * cancelCheckStride; len(r.Delays) != want {
+		t.Fatalf("partial result holds %d samples, want %d", len(r.Delays), want)
+	}
+	for i := 1; i < len(r.Delays); i++ {
+		if r.Delays[i] < r.Delays[i-1] {
+			t.Fatal("partial samples not sorted")
+		}
+	}
+	if p := r.Percentile(0.5); math.IsNaN(p) || p <= 0 {
+		t.Errorf("median of partial result = %v", p)
+	}
+}
+
+// TestRunCancelBeforeFirstSample: a context canceled from the start
+// yields an empty partial result whose statistics degrade gracefully —
+// Percentile must return NaN, never index out of range.
+func TestRunCancelBeforeFirstSample(t *testing.T) {
+	d := c17Design(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := Run(ctx, d, 1000, 1)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if r == nil {
+		t.Fatal("canceled run returned nil partial result")
+	}
+	if len(r.Delays) != 0 {
+		t.Fatalf("expected no samples, got %d", len(r.Delays))
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := r.Percentile(p); !math.IsNaN(got) {
+			t.Errorf("Percentile(%v) on empty result = %v, want NaN", p, got)
+		}
+	}
+}
+
+// TestRunCorrelatedCancel: the correlated-variation runner shares the
+// cancellation contract.
+func TestRunCorrelatedCancel(t *testing.T) {
+	d := c17Design(t)
+	ctx := &countdownCtx{Context: context.Background(), polls: 2}
+	r, err := RunCorrelated(ctx, d, 100000, 1, CorrModel{GlobalFrac: 0.3, RegionFrac: 0.3})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected wrapped context.Canceled, got %v", err)
+	}
+	if want := 2 * cancelCheckStride; r == nil || len(r.Delays) != want {
+		t.Fatalf("partial correlated result wrong: %v", r)
+	}
+	if p := r.Percentile(0.9); math.IsNaN(p) || p <= 0 {
+		t.Errorf("p90 of partial correlated result = %v", p)
 	}
 }

@@ -1,0 +1,146 @@
+// Package validate is the statistical correctness oracle of the
+// repository: it exercises the full SSTA/session/optimizer stack on a
+// randomized corpus of generated circuits that nobody hand-picked, and
+// checks two independent kinds of ground truth against it.
+//
+//   - The differential oracle (oracle.go) compares the SSTA sink CDF of
+//     every corpus circuit against a Monte Carlo reference simulation,
+//     with a tolerance derived from the Dvoretzky–Kiefer–Wolfowitz
+//     inequality at the sample count plus explicit allowances for grid
+//     discretization and the documented reconvergence conservatism.
+//   - The metamorphic suite (metamorphic.go) checks internal-consistency
+//     properties that must hold exactly — serial == parallel analysis,
+//     incremental resize == fresh analysis, rollback restores the past,
+//     what-if == commit-then-query, delay-cache transparency, and
+//     monotonicity of gate widening.
+//
+// Any failing circuit is shrunk (shrink.go) to a minimal still-failing
+// circuitgen.Spec and reported as a self-contained Go literal that
+// reproduces the failure via cmd/validate -spec.
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+)
+
+// CorpusOptions configures corpus generation. The zero value is not
+// usable; start from DefaultCorpusOptions.
+type CorpusOptions struct {
+	N        int   // number of generated circuits
+	Seed     int64 // master seed; same seed + N = same corpus
+	MaxGates int   // per-circuit gate-count ceiling
+}
+
+// DefaultCorpusOptions is the short-mode corpus: enough circuits to
+// cover every family, small enough that 20k-sample Monte Carlo per
+// circuit stays test-suite friendly.
+func DefaultCorpusOptions() CorpusOptions {
+	return CorpusOptions{N: 25, Seed: 20050613, MaxGates: 120}
+}
+
+// family is one region of circuit-shape space the corpus draws from.
+// Families deliberately stress different code paths: deep chains grow
+// long convolution pipelines, wide plates grow big per-level fan-outs
+// for the parallel pass, reconvergent meshes maximize the correlation
+// the SSTA bound ignores, and tapered cones bound how often the
+// generator's PO-budget rewiring triggers.
+type family struct {
+	name string
+	draw func(r *rand.Rand, maxGates int) circuitgen.Spec
+}
+
+func families() []family {
+	clampG := func(g, depth, maxGates int) int {
+		if g > maxGates {
+			g = maxGates
+		}
+		if g < depth {
+			g = depth
+		}
+		return g
+	}
+	mk := func(r *rand.Rand, pis, pos, depth, gates int, avgFanin float64) circuitgen.Spec {
+		pins := int(float64(gates) * avgFanin)
+		if pins < gates {
+			pins = gates
+		}
+		if max := gates * 4; pins > max {
+			pins = max
+		}
+		if pos > gates+pis {
+			pos = gates + pis
+		}
+		return circuitgen.Spec{
+			Nodes: pis + gates + 2,
+			Edges: pins + pis + pos,
+			PIs:   pis,
+			POs:   pos,
+			Depth: depth,
+			Seed:  r.Int63(),
+		}
+	}
+	return []family{
+		{"mix", func(r *rand.Rand, maxGates int) circuitgen.Spec {
+			depth := 5 + r.Intn(14)
+			gates := clampG(depth*(2+r.Intn(3)), depth, maxGates)
+			return mk(r, 4+r.Intn(17), 1+r.Intn(8), depth, gates, 1.4+1.4*r.Float64())
+		}},
+		{"deep", func(r *rand.Rand, maxGates int) circuitgen.Spec {
+			depth := 18 + r.Intn(13)
+			gates := clampG(depth+depth*r.Intn(2)/2+r.Intn(depth), depth, maxGates)
+			return mk(r, 2+r.Intn(6), 1+r.Intn(3), depth, gates, 1.2+0.8*r.Float64())
+		}},
+		{"wide", func(r *rand.Rand, maxGates int) circuitgen.Spec {
+			depth := 3 + r.Intn(4)
+			gates := clampG(40+r.Intn(81), depth, maxGates)
+			return mk(r, 10+r.Intn(31), 4+r.Intn(12), depth, gates, 1.5+1.5*r.Float64())
+		}},
+		{"reconv", func(r *rand.Rand, maxGates int) circuitgen.Spec {
+			depth := 6 + r.Intn(10)
+			gates := clampG(depth*3+r.Intn(depth*2), depth, maxGates)
+			return mk(r, 2+r.Intn(4), 1+r.Intn(2), depth, gates, 2.5+1.0*r.Float64())
+		}},
+		{"taper", func(r *rand.Rand, maxGates int) circuitgen.Spec {
+			depth := 6 + r.Intn(9)
+			gates := clampG(depth*4+r.Intn(depth*3), depth, maxGates)
+			pos := gates/3 + 1
+			return mk(r, 15+r.Intn(26), pos, depth, gates, 1.6+1.0*r.Float64())
+		}},
+	}
+}
+
+// Corpus generates opt.N specs, cycling through the shape families. A
+// drawn spec that fails validation or that the generator cannot wire is
+// discarded and redrawn, so every returned spec is known-generable. The
+// walk is deterministic in (Seed, N, MaxGates).
+func Corpus(lib *cell.Library, opt CorpusOptions) ([]circuitgen.Spec, error) {
+	if opt.N < 1 {
+		return nil, fmt.Errorf("validate: corpus size %d", opt.N)
+	}
+	if opt.MaxGates < 8 {
+		return nil, fmt.Errorf("validate: max gates %d too small to cover the families", opt.MaxGates)
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	fams := families()
+	out := make([]circuitgen.Spec, 0, opt.N)
+	for i := 0; len(out) < opt.N; i++ {
+		if i >= 50*opt.N {
+			return nil, fmt.Errorf("validate: corpus generation stalled after %d draws (%d/%d specs)", i, len(out), opt.N)
+		}
+		f := fams[len(out)%len(fams)]
+		sp := f.draw(r, opt.MaxGates)
+		sp.Name = fmt.Sprintf("%s-%03d", f.name, len(out))
+		if sp.Validate(lib) != nil {
+			continue
+		}
+		if _, err := circuitgen.Generate(lib, sp); err != nil {
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package validate
+
+import (
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+)
+
+// Shrink greedily minimizes a failing spec: starting from sp (which
+// fails(sp) must hold for), it repeatedly tries shape-reducing moves —
+// fewer gates, shallower depth, fewer pins, fewer PIs/POs — and keeps
+// any candidate that still validates, still generates, and still fails.
+// The search stops at a fixpoint (no move preserves the failure) or
+// after budget calls to fails, whichever comes first, and returns the
+// smallest failing spec found. Deterministic: moves are tried in a
+// fixed order.
+//
+// fails must be a pure predicate of the spec (the property suite and
+// the oracle both are); it is never called on sp itself.
+func Shrink(lib *cell.Library, sp circuitgen.Spec, fails func(circuitgen.Spec) bool, budget int) circuitgen.Spec {
+	cur := sp
+	for budget > 0 {
+		improved := false
+		for _, cand := range shrinkMoves(cur) {
+			if budget <= 0 {
+				break
+			}
+			if cand.Validate(lib) != nil {
+				continue
+			}
+			if _, err := circuitgen.Generate(lib, cand); err != nil {
+				continue
+			}
+			budget--
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break // restart the move ladder from the smaller spec
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// shrinkMoves proposes candidate reductions of sp, most aggressive
+// first. Gates and pins are the implied quantities, so moves rewrite
+// Nodes and Edges consistently: Nodes = PIs + gates + 2 and
+// Edges = pins + PIs + POs.
+func shrinkMoves(sp circuitgen.Spec) []circuitgen.Spec {
+	gates, pins := sp.Gates(), sp.Pins()
+	rebuild := func(pis, pos, depth, g, p int) circuitgen.Spec {
+		return circuitgen.Spec{
+			Name:  sp.Name,
+			Nodes: pis + g + 2,
+			Edges: p + pis + pos,
+			PIs:   pis,
+			POs:   pos,
+			Depth: depth,
+			Seed:  sp.Seed,
+		}
+	}
+	scaleGates := func(num, den int) circuitgen.Spec {
+		g := gates * num / den
+		if g < 1 {
+			g = 1
+		}
+		// Scale pins with the gates, preserving the average fanin.
+		p := pins * g / gates
+		if p < g {
+			p = g
+		}
+		d := sp.Depth
+		if d > g {
+			d = g
+		}
+		return rebuild(sp.PIs, sp.POs, d, g, p)
+	}
+	moves := []circuitgen.Spec{
+		scaleGates(1, 2),
+		scaleGates(3, 4),
+		rebuild(sp.PIs, sp.POs, max(1, sp.Depth/2), gates, pins),
+		rebuild(sp.PIs, sp.POs, sp.Depth, gates, max(gates, pins*3/4)), // thin the fanin
+		rebuild(max(2, sp.PIs/2), sp.POs, sp.Depth, gates, pins),
+		rebuild(sp.PIs, max(1, sp.POs/2), sp.Depth, gates, pins),
+		scaleGates(9, 10),
+		rebuild(sp.PIs, sp.POs, max(1, sp.Depth-1), gates, pins),
+		rebuild(sp.PIs, sp.POs, sp.Depth, gates, max(gates, pins-1)),
+	}
+	return moves
+}

@@ -1,0 +1,174 @@
+package validate
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"statsize/internal/cell"
+	"statsize/internal/circuitgen"
+)
+
+// Options configures a full validation run.
+type Options struct {
+	Corpus CorpusOptions
+	Oracle OracleConfig
+	// ISCAS lists benchmark replicas (circuitgen.ByName) to validate
+	// alongside the random corpus.
+	ISCAS []string
+	// ShrinkBudget bounds the circuit regenerations spent minimizing
+	// each failure (0 disables shrinking). Oracle failures re-run Monte
+	// Carlo per shrink step, so this is the knob that keeps failing
+	// runs from crawling.
+	ShrinkBudget int
+	// Log, when non-nil, receives one progress line per circuit.
+	Log func(format string, args ...any)
+}
+
+// DefaultOptions is the short-mode configuration TestCorpus runs.
+func DefaultOptions() Options {
+	return Options{
+		Corpus:       DefaultCorpusOptions(),
+		Oracle:       DefaultOracleConfig(),
+		ISCAS:        []string{"c432", "c880"},
+		ShrinkBudget: 24,
+	}
+}
+
+// Failure is one validated-property or oracle violation, carrying the
+// minimized reproducer.
+type Failure struct {
+	Circuit  string
+	Kind     string // "oracle" or the metamorphic property name
+	Detail   string
+	Minimal  circuitgen.Spec // smallest spec still exhibiting the failure
+	Original circuitgen.Spec
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("%s/%s: %s\n  reproducer: %#v", f.Circuit, f.Kind, f.Detail, f.Minimal)
+}
+
+// CircuitOutcome is the per-circuit record of a run.
+type CircuitOutcome struct {
+	Spec     circuitgen.Spec
+	Oracle   *OracleReport
+	Failures []*Failure
+}
+
+// Summary aggregates a whole validation run.
+type Summary struct {
+	Outcomes []CircuitOutcome
+	Failures []*Failure
+}
+
+// Ok reports whether every circuit passed every check.
+func (s *Summary) Ok() bool { return len(s.Failures) == 0 }
+
+// Report renders a human-readable run report: one line per circuit and
+// the verdict tail.
+func (s *Summary) Report() string {
+	var b strings.Builder
+	for _, oc := range s.Outcomes {
+		fmt.Fprintf(&b, "%s\n", oc.Oracle)
+	}
+	b.WriteString(s.ReportTail())
+	return b.String()
+}
+
+// ReportTail renders only the verdict plus one block per failure with
+// its reproducer literal — what cmd/validate prints after streaming
+// the per-circuit lines as progress.
+func (s *Summary) ReportTail() string {
+	var b strings.Builder
+	if len(s.Failures) == 0 {
+		fmt.Fprintf(&b, "PASS: %d circuits within tolerance, all metamorphic properties hold\n", len(s.Outcomes))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "FAIL: %d violation(s) across %d circuits\n", len(s.Failures), len(s.Outcomes))
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "%s\n", f)
+	}
+	return b.String()
+}
+
+// Run executes the differential oracle and the metamorphic suite over
+// the random corpus plus the requested ISCAS replicas. Circuit-level
+// check violations are collected (with minimized reproducers) in the
+// summary; the returned error is reserved for infrastructure problems —
+// corpus generation failing, analysis erroring, context cancellation.
+func Run(ctx context.Context, lib *cell.Library, opts Options) (*Summary, error) {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	specs, err := Corpus(lib, opts.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range opts.ISCAS {
+		sp, ok := circuitgen.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("validate: unknown ISCAS benchmark %q", name)
+		}
+		specs = append(specs, sp)
+	}
+	props := Properties()
+	sum := &Summary{}
+	for _, sp := range specs {
+		if err := ctx.Err(); err != nil {
+			return sum, fmt.Errorf("validate: run canceled: %w", err)
+		}
+		oc, err := checkCircuit(ctx, lib, sp, opts, props)
+		if err != nil {
+			return sum, err
+		}
+		logf("%s", oc.Oracle)
+		sum.Outcomes = append(sum.Outcomes, *oc)
+		sum.Failures = append(sum.Failures, oc.Failures...)
+	}
+	return sum, nil
+}
+
+// checkCircuit runs every check against one spec, shrinking each
+// failure it finds.
+func checkCircuit(ctx context.Context, lib *cell.Library, sp circuitgen.Spec, opts Options, props []Property) (*CircuitOutcome, error) {
+	oc := &CircuitOutcome{Spec: sp}
+	rep, err := RunOracle(ctx, lib, sp, opts.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	oc.Oracle = rep
+	if !rep.Pass {
+		min := Shrink(lib, sp, func(cand circuitgen.Spec) bool {
+			r, err := RunOracle(ctx, lib, cand, opts.Oracle)
+			return err == nil && !r.Pass
+		}, opts.ShrinkBudget)
+		oc.Failures = append(oc.Failures, &Failure{
+			Circuit: sp.Name, Kind: "oracle", Detail: rep.Failure,
+			Minimal: min, Original: sp,
+		})
+	}
+	for _, prop := range props {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("validate: run canceled: %w", err)
+		}
+		perr := prop.Run(ctx, lib, sp)
+		if perr == nil {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("validate: %s on %s: %w", prop.Name, sp.Name, perr)
+		}
+		min := Shrink(lib, sp, func(cand circuitgen.Spec) bool {
+			// A cancellation mid-shrink makes every candidate error;
+			// that is not the failure being minimized.
+			return prop.Run(ctx, lib, cand) != nil && ctx.Err() == nil
+		}, opts.ShrinkBudget)
+		oc.Failures = append(oc.Failures, &Failure{
+			Circuit: sp.Name, Kind: prop.Name, Detail: perr.Error(),
+			Minimal: min, Original: sp,
+		})
+	}
+	return oc, nil
+}

@@ -35,18 +35,19 @@ func formatTrace(circuit, opt string, res *Result) string {
 // captured from the pre-Session implementation: gate choice per
 // iteration, sensitivities, objectives, widths and the candidate /
 // pruning / visit counters must be bit-identical for the deterministic,
-// brute-force and accelerated strategies on c432 and c880. This is the
-// proof that the Session redesign changed the plumbing, not the
+// brute-force and accelerated strategies on c432, c880 and c1908 (the
+// benchmark workhorse of the incremental-timing tests). This is the
+// proof that plumbing refactors change the plumbing, not the
 // algorithm.
 func TestGoldenTraces(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden traces cover c880 brute force; skipped with -short")
+		t.Skip("golden traces cover c880/c1908 brute force; skipped with -short")
 	}
 	eng, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, circuit := range []string{"c432", "c880"} {
+	for _, circuit := range []string{"c432", "c880", "c1908"} {
 		for _, opt := range []string{"deterministic", "brute-force", "accelerated"} {
 			t.Run(circuit+"/"+opt, func(t *testing.T) {
 				d, err := eng.Benchmark(circuit)
