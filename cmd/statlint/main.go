@@ -1,0 +1,85 @@
+// Command statlint is the repository's invariant gate: it runs the
+// custom analyzer suite in internal/analyzers — scratchescape,
+// arenashare, lockdiscipline, ctxflow — over the given packages, plus
+// the standard go vet passes, and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/statlint ./...
+//
+// Every diagnostic is either a bug to fix or an intentional exception
+// to mark with
+//
+//	//lint:allow statlint/<analyzer> <reason>
+//
+// on the flagged line or the line directly above. Suppressions are
+// validated: an unknown analyzer name or a missing reason fails the
+// run (exit 2) rather than silently disabling a check. Findings exit
+// 1; a clean tree exits 0.
+//
+// Flags:
+//
+//	-vet=false   skip the go vet step (the custom analyzers still run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"statsize/internal/analyzers"
+	"statsize/internal/analyzers/analysis"
+)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run `go vet` over the same packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: statlint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nSuppress an intentional finding with //lint:allow statlint/<analyzer> <reason>\non the flagged line or the line directly above.\n")
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	suite := analyzers.All()
+	pkgs, err := analysis.NewLoader("").Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	vetFailed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+
+	if len(diags) > 0 || vetFailed {
+		os.Exit(1)
+	}
+}

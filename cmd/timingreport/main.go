@@ -104,6 +104,7 @@ func run(ctx context.Context, circuit, bench string, paths, samples, bins int, c
 		"rank", "delay (ns)", "gates")
 	for i, p := range statsize.TopPaths(d, paths) {
 		names := ""
+		//lint:allow statlint/ctxflow formatting a handful of already-computed paths, bounded by the -paths flag, not a propagation loop
 		for _, eid := range p.Edges {
 			gid := d.E.EdgeGate[eid]
 			if gid == netlist.NoGate {

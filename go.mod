@@ -1,3 +1,8 @@
 module statsize
 
 go 1.24
+
+// Lint toolchain, referenced only by internal/tools (build tag
+// "tools"): pins the staticcheck CI installs. Not fetched by normal
+// builds or tests.
+require honnef.co/go/tools v0.6.1

@@ -1,0 +1,113 @@
+// Package analysis is the minimal static-analysis framework behind
+// cmd/statlint. It mirrors the shape of golang.org/x/tools/go/analysis
+// — an Analyzer owns a Run function that inspects one type-checked
+// package through a Pass and reports Diagnostics — but is built purely
+// on the standard library (go/parser, go/types, `go list`), because
+// this repository vendors no third-party modules.
+//
+// The framework exists to machine-check the memory-model and
+// concurrency invariants DESIGN.md states in prose: scratch
+// distributions must be persisted before retention, arenas serve one
+// goroutine, session queries hold the lock, long propagation loops
+// observe their context. See the sibling analyzer packages
+// (scratchescape, arenashare, lockdiscipline, ctxflow) and DESIGN.md's
+// "Enforced invariants" section.
+//
+// Intentional exceptions are suppressed in source with
+//
+//	//lint:allow statlint/<analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory and unknown analyzer names are a hard error, so stale or
+// typoed suppressions cannot silently disable checking.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a single package
+// and reports findings through the Pass; it must not retain the Pass.
+type Analyzer struct {
+	Name string // short identifier, e.g. "scratchescape"
+	Doc  string // one-paragraph description of the invariant checked
+	Run  func(*Pass) error
+}
+
+// Pass carries everything an Analyzer needs to inspect one package:
+// the syntax, the type information, and the reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics in (file, line, column, analyzer) order, after
+// removing findings covered by a //lint:allow suppression. A malformed
+// or unknown suppression is an error, not a finding: the driver must
+// refuse to certify a tree whose suppression state it cannot validate.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept, err := applySuppressions(pkgs, analyzers, diags)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}

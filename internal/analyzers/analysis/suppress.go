@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// allowPrefix is the directive that marks an intentional exception to
+// an analyzer. The full form is
+//
+//	//lint:allow statlint/<analyzer> <reason>
+//
+// placed at the end of the flagged line or on its own line directly
+// above. The statlint/ namespace keeps the directive from colliding
+// with staticcheck's //lint:ignore, which uses check codes, not
+// analyzer names.
+const (
+	allowPrefix   = "lint:allow "
+	allowCategory = "statlint/"
+)
+
+// suppression is one parsed //lint:allow directive.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// parseSuppressions extracts and validates every //lint:allow directive
+// in the loaded packages. Validation is strict: an unknown analyzer
+// name or a missing reason is an error, because a suppression that no
+// longer names a real check (or never justified itself) is a silent
+// hole in the gate.
+func parseSuppressions(pkgs []*Package, known map[string]bool) ([]suppression, error) {
+	var out []suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					if !strings.HasPrefix(name, allowCategory) {
+						return nil, fmt.Errorf("%s: lint:allow must name a statlint/<analyzer> check, got %q", pos, name)
+					}
+					analyzer := strings.TrimPrefix(name, allowCategory)
+					if !known[analyzer] {
+						return nil, fmt.Errorf("%s: lint:allow names unknown analyzer %q", pos, analyzer)
+					}
+					if strings.TrimSpace(reason) == "" {
+						return nil, fmt.Errorf("%s: lint:allow statlint/%s needs a reason", pos, analyzer)
+					}
+					out = append(out, suppression{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: analyzer,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// applySuppressions removes diagnostics covered by a valid directive: a
+// suppression on line L covers findings of its analyzer on L (trailing
+// comment) and L+1 (comment on its own line above the flagged one).
+func applySuppressions(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sups, err := parseSuppressions(pkgs, known)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, 2*len(sups))
+	for _, s := range sups {
+		covered[key{s.file, s.line, s.analyzer}] = true
+		covered[key{s.file, s.line + 1, s.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}

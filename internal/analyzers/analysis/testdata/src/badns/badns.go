@@ -1,0 +1,6 @@
+// Package badns carries a suppression outside the statlint/ namespace;
+// loading it through Run must fail validation.
+package badns
+
+//lint:allow marker missing the statlint/ namespace prefix
+func BadNamespaced() {}

@@ -1,0 +1,6 @@
+// Package noreason carries a suppression without a justification;
+// loading it through Run must fail validation.
+package noreason
+
+//lint:allow statlint/marker
+func BadUnjustified() {}

@@ -1,0 +1,21 @@
+// Package suppressed exercises the //lint:allow matching rules against
+// the test-only marker analyzer, which flags every function whose name
+// starts with Bad.
+package suppressed
+
+// BadCovered is suppressed by the comment-above form.
+//
+//lint:allow statlint/marker exercising the line-above suppression form
+func BadCovered() {}
+
+func BadTrailing() {} //lint:allow statlint/marker exercising the same-line suppression form
+
+// BadUncovered must survive suppression filtering.
+func BadUncovered() {}
+
+// BadWrongLine is NOT covered: the directive is detached, two lines
+// above the declaration and outside the L/L+1 window.
+
+//lint:allow statlint/marker this directive is deliberately one line too far away
+
+func BadWrongLine() {}

@@ -1,0 +1,6 @@
+// Package unknown carries a suppression naming an analyzer that does
+// not exist; loading it through Run must fail validation.
+package unknown
+
+//lint:allow statlint/nosuch this analyzer name is a deliberate typo
+func BadTypoed() {}

@@ -1,0 +1,11 @@
+package arenashare
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestArenaShare(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,37 @@
+// Package clean is the silent twin of the flagged corpus: the
+// sanctioned per-worker patterns, which arenashare must not report.
+package clean
+
+import (
+	"context"
+
+	"statsize/internal/dist"
+	"statsize/internal/par"
+	"statsize/internal/ssta"
+)
+
+type worker struct {
+	ar *dist.Arena
+	kp *dist.Keeper
+}
+
+// The sanctioned pattern: per-worker scratch held in slices and indexed
+// by the worker ordinal RunIndexed reports. The captured identifiers
+// have slice type, not arena type.
+func PerWorker(ctx context.Context, ws []worker, scratch []*ssta.Scratch) error {
+	return par.RunIndexed(ctx, len(ws), 64, func(w, i int) error {
+		ws[w].ar.Reset()
+		ws[w].kp.Reset()
+		_ = scratch[w]
+		return nil
+	})
+}
+
+// Scratch born inside the worker function is private to its goroutine.
+func Local(ctx context.Context) error {
+	return par.Run(ctx, 2, 8, func(i int) error {
+		ar := dist.NewArena()
+		_ = ar
+		return nil
+	})
+}

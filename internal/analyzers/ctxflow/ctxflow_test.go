@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

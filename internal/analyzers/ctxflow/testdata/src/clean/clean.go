@@ -1,0 +1,63 @@
+// Package clean is the silent twin of the flagged corpus: every
+// propagation-scale loop observes its context one way or another, so
+// ctxflow must not report here.
+package clean
+
+import (
+	"context"
+
+	"statsize/internal/graph"
+)
+
+const stride = 64
+
+func visit(ctx context.Context, n graph.NodeID) { _ = ctx; _ = n }
+func step(n int) int                            { return n - 1 }
+
+// Strided is the cancelCheckStride pattern: a periodic ctx.Err check
+// inside the loop.
+func Strided(ctx context.Context, nodes []graph.NodeID) error {
+	for i, n := range nodes {
+		if i%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		_ = n
+	}
+	return nil
+}
+
+// Ancestor: the level loop checks cancellation, covering the per-node
+// loop nested inside it.
+func Ancestor(ctx context.Context, levels [][]graph.NodeID) error {
+	for _, lvl := range levels {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, n := range lvl {
+			_ = n
+		}
+	}
+	return nil
+}
+
+// Forwarded: passing ctx to a callee counts — every ctx-taking callee
+// in this codebase checks cancellation itself.
+func Forwarded(ctx context.Context, nodes []graph.NodeID) {
+	for _, n := range nodes {
+		visit(ctx, n)
+	}
+}
+
+// Bounded: 3-clause index loops are below the propagation-scale bar.
+func Bounded(ctx context.Context, nodes []graph.NodeID) int {
+	if err := ctx.Err(); err != nil {
+		return 0
+	}
+	total := 0
+	for i := 0; i < len(nodes); i++ {
+		total = step(total)
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+package lockdiscipline
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,33 @@
+// Package clean is the silent twin of the flagged corpus: the Session
+// locking discipline followed correctly, which lockdiscipline must not
+// report.
+package clean
+
+import "sync"
+
+type Store struct {
+	capacity int
+
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// Config above the mutex is immutable after construction: lock-free
+// reads are the convention.
+func (s *Store) Capacity() int { return s.capacity }
+
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// size is the unexported with-lock-held helper pattern: the exported
+// surface acquires, the helper touches state.
+func (s *Store) size() int { return len(s.items) }
+
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size()
+}

@@ -1,0 +1,60 @@
+// Package flagged seeds the two lockdiscipline violation classes on a
+// miniature of the Session pattern: an exported method touching a
+// guarded field lock-free, and lock-taking methods nesting on the same
+// receiver.
+package flagged
+
+import "sync"
+
+// Store declares config above the mutex (lock-free by convention) and
+// guarded state below it.
+type Store struct {
+	capacity int
+
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// Capacity is legitimate: the field sits above the mutex.
+func (s *Store) Capacity() int { return s.capacity }
+
+func (s *Store) Len() int {
+	return len(s.items) // want `exported method Store.Len accesses guarded field items without acquiring the mutex`
+}
+
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+func (s *Store) Both(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Get(k) // want `Store.Both holds the Store lock and calls lock-taking method Get on the same receiver`
+}
+
+// Acquire is the primitive of the Acquire/Tx pattern: it returns with
+// the lock held.
+func (s *Store) Acquire() *Store {
+	s.mu.Lock()
+	return s
+}
+
+// Snapshot holds via Acquire — one acquisition is fine.
+func (s *Store) Snapshot() map[string]int {
+	s.Acquire()
+	out := make(map[string]int, len(s.items))
+	for k, v := range s.items {
+		out[k] = v
+	}
+	defer s.mu.Unlock()
+	return out
+}
+
+func (s *Store) Double() {
+	s.Acquire() // want `Store.Double holds the Store lock and calls lock-taking method Acquire on the same receiver`
+	s.Acquire()
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

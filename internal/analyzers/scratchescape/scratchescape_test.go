@@ -1,0 +1,11 @@
+package scratchescape
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

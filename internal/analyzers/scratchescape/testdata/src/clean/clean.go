@@ -1,0 +1,46 @@
+// Package clean is the silent twin of the flagged corpus: every
+// retention below follows the memory model, so scratchescape must not
+// report anything here.
+package clean
+
+import (
+	"statsize/internal/dist"
+)
+
+type box struct{ d *dist.Dist }
+
+var latest *dist.Dist
+
+// Persisting into a fresh variable is the sanctioned retention path;
+// Keeper.Persist on a kernel call composes the same way.
+func Retains(ar *dist.Arena, k *dist.Keeper, a, b *dist.Dist) *dist.Dist {
+	s := dist.MaxIndepInto(ar, a, b)
+	p := s.Persist()
+	var bx box
+	bx.d = p
+	latest = k.Persist(dist.ConvolveInto(ar, a, b))
+	return p
+}
+
+// The allocating wrappers return immutable distributions; so does an
+// Into kernel handed an explicitly nil arena.
+func Allocates(a, b *dist.Dist) *dist.Dist {
+	s := dist.MaxIndep(a, b)
+	latest = s
+	return dist.SubConvolveInto(nil, a, b)
+}
+
+// Unexported helpers may hand scratch up to the arena-owning caller —
+// that is how the kernel pipeline composes.
+func helper(ar *dist.Arena, a, b *dist.Dist) *dist.Dist {
+	return dist.MinIndepInto(ar, a, b)
+}
+
+// Persist-in-place: a variable reassigned from its own Persist call is
+// cleansed (the ComputeRequired accumulator pattern).
+func InPlace(ar *dist.Arena, a, b *dist.Dist) *dist.Dist {
+	acc := dist.ConvolveInto(ar, a, b)
+	acc = acc.Persist()
+	latest = acc
+	return acc
+}

@@ -1,0 +1,55 @@
+// Package flagged seeds one violation per escape route scratchescape
+// knows: every arena-scratch distribution below is retained without
+// flowing through Persist first.
+package flagged
+
+import (
+	"statsize/internal/dist"
+)
+
+type box struct{ d *dist.Dist }
+
+var latest *dist.Dist
+
+var sink box
+
+func Escapes(ar *dist.Arena, a, b *dist.Dist) *dist.Dist {
+	s := dist.MaxIndepInto(ar, a, b)
+	var bx box
+	bx.d = s // want `stored in a struct field`
+	cache := map[int]*dist.Dist{}
+	cache[0] = s // want `stored in a map or slice element`
+	latest = s   // want `stored in a package-level variable`
+	var all []*dist.Dist
+	all = append(all, s) // want `appended to a slice`
+	_ = all
+	_ = box{d: s} // want `stored in a composite literal`
+	return s      // want `returned across an exported boundary`
+}
+
+func sendsScratch(ar *dist.Arena, a, b *dist.Dist, ch chan *dist.Dist) {
+	s := dist.ConvolveInto(ar, a, b)
+	ch <- s // want `sent on a channel`
+}
+
+// kernelOrErr has the multi-result shape of the ssta helpers: a scratch
+// distribution plus an error.
+func kernelOrErr(ar *dist.Arena, a, b *dist.Dist) (*dist.Dist, error) {
+	return dist.SubConvolveInto(ar, a, b), nil
+}
+
+// Scratch-ness propagates through tuple assignment and plain copies.
+func tupleAndCopy(ar *dist.Arena, a, b *dist.Dist) error {
+	s, err := kernelOrErr(ar, a, b)
+	if err != nil {
+		return err
+	}
+	u := s
+	sink.d = u // want `stored in a struct field`
+	return nil
+}
+
+// Kernel calls escape directly too, without an intermediate variable.
+func DirectReturn(ar *dist.Arena, d *dist.Dist) *dist.Dist {
+	return dist.NegInto(ar, d) // want `returned across an exported boundary`
+}

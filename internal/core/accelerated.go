@@ -278,6 +278,12 @@ func acceleratedIteration(ctx context.Context, a *ssta.Analysis, cfg Config, bas
 
 	if hintFront != nil {
 		for !hintFront.dead {
+			// The hint front runs to the sink outside the heap's pop loop
+			// and its pruning checks, so cancellation must be observed
+			// here: one level of one front is the latency bound.
+			if err := ctx.Err(); err != nil {
+				return ir, err
+			}
 			hintFront.propagateOneLevel(a, cfg, loopArena)
 			ir.nodesVisited += hintFront.visits
 			hintFront.visits = 0

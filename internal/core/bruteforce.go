@@ -267,6 +267,7 @@ func bruteSinkDist(a *ssta.Analysis, gid netlist.GateID, sc *sweepScratch) (*dis
 			arr[n] = a.Arrival(n)
 			continue
 		}
+		//lint:allow statlint/scratchescape the overlay slice is scratch-scoped: rewound with sc.ar each candidate, only the persisted sink below escapes
 		arr[n] = a.ArrivalWithOverlayInto(n, arrOverlay, delayOverlay, sc.ar)
 		visited++
 	}

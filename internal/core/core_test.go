@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -358,5 +359,29 @@ func TestTraceCallback(t *testing.T) {
 	}
 	if calls == 0 {
 		t.Error("trace callback never invoked")
+	}
+}
+
+// TestAcceleratedCancelMidRun: regression for the unchecked hint-front
+// drain ctxflow flagged in acceleratedIteration — cancellation raised
+// mid-run (here from the OnIteration hook, after warm-start hints
+// exist) must stop the run at the next observation point and return the
+// partial result wrapped around context.Canceled, per the Engine
+// contract.
+func TestAcceleratedCancelMidRun(t *testing.T) {
+	d := newDesign(t, "c432")
+	s, err := OpenSession(context.Background(), d, Config{MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Accelerated(ctx, s, Config{MaxIterations: 50, OnIteration: func(IterRecord) { cancel() }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v, want a context.Canceled wrap", err)
+	}
+	if res == nil || res.Iterations != 1 {
+		t.Fatalf("partial result = %+v, want exactly the one committed iteration", res)
 	}
 }

@@ -1,0 +1,14 @@
+//go:build tools
+
+// Package tools pins the build/lint tool dependencies in go.mod, the
+// standard tools.go pattern: the tools build tag never matches a real
+// build, so nothing here links into the library, but `go install
+// honnef.co/go/tools/cmd/staticcheck` inside the module now resolves
+// to the version go.mod requires instead of whatever an ad-hoc
+// @version flag in CI says. Upgrading the lint toolchain is a go.mod
+// diff reviewed like any other dependency change.
+package tools
+
+import (
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)

@@ -271,6 +271,9 @@ func propWidenNeverSlower(ctx context.Context, lib *cell.Library, sp circuitgen.
 	dt := d.SuggestDT(metaBins)
 	r := rand.New(rand.NewSource(sp.Seed ^ 0x51de))
 	for _, g := range sampleGates(r, d.NL.NumGates(), 6) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		w1 := latticeWidth(r, lib)
 		w2 := w1 + float64(1+r.Intn(4))*lib.DeltaW
 		if w2 > lib.WMax {

@@ -2,6 +2,7 @@ package validate
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"math"
 	"math/rand"
@@ -291,5 +292,22 @@ func TestRunCanceled(t *testing.T) {
 	_, err := Run(ctx, cell.Default180nm(), opts)
 	if err == nil {
 		t.Fatal("canceled run returned nil error")
+	}
+}
+
+// TestWidenNeverSlowerHonorsCancellation: regression for the unchecked
+// per-gate delay-evaluation loop ctxflow flagged in
+// propWidenNeverSlower — a dead context must abort the property with
+// context.Canceled instead of running the remaining sweep.
+func TestWidenNeverSlowerHonorsCancellation(t *testing.T) {
+	lib := cell.Default180nm()
+	specs, err := Corpus(lib, CorpusOptions{N: 1, Seed: 5, MaxGates: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := propWidenNeverSlower(ctx, lib, specs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled property returned %v, want context.Canceled", err)
 	}
 }
