@@ -1,0 +1,285 @@
+// Command statload is the saturation benchmark for statsized: it
+// drives concurrent WhatIfBatch traffic against a running daemon over
+// a sweep of concurrency levels and reports QPS and latency quantiles
+// per level as machine-readable JSON (the committed BENCH_PR7.json).
+//
+// Usage, against a local daemon:
+//
+//	statsized -addr 127.0.0.1:8790 &
+//	statload -url http://127.0.0.1:8790 -design c1908 \
+//	    -levels 16,64,256,1024 -duration 8s -out BENCH_PR7.json
+//
+// Each worker loops a batched what-if request against one of a small
+// set of pooled sessions (distinct client ids), so the run exercises
+// exactly the multiplexing path the service layer exists for: many
+// concurrent clients over few live analyses.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type candidate struct {
+	Gate  int64   `json:"gate"`
+	Width float64 `json:"width"`
+}
+
+type whatIfRequest struct {
+	Candidates []candidate `json:"candidates"`
+}
+
+type openRequest struct {
+	Design string `json:"design"`
+	Client string `json:"client"`
+	Bins   int    `json:"bins,omitempty"`
+}
+
+type openResponse struct {
+	SessionID string `json:"session_id"`
+	NumGates  int    `json:"num_gates"`
+}
+
+// levelReport is one concurrency level's outcome.
+type levelReport struct {
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	QPS         float64 `json:"qps"`
+	CandPerSec  float64 `json:"candidates_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// report is the full benchmark artifact.
+type report struct {
+	Tool       string        `json:"tool"`
+	URL        string        `json:"url"`
+	Design     string        `json:"design"`
+	NumGates   int           `json:"num_gates"`
+	Bins       int           `json:"bins"`
+	Batch      int           `json:"batch"`
+	Sessions   int           `json:"sessions"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Levels     []levelReport `json:"levels"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8790", "daemon base URL")
+		design   = flag.String("design", "c1908", "benchmark circuit to load")
+		bins     = flag.Int("bins", 400, "SSTA grid bins for the pooled sessions")
+		sessions = flag.Int("sessions", 8, "pooled sessions (distinct client ids) to multiplex over")
+		batch    = flag.Int("batch", 8, "candidates per what-if request")
+		levels   = flag.String("levels", "16,64,256,1024", "comma-separated concurrency sweep")
+		duration = flag.Duration("duration", 8*time.Second, "wall-clock budget per level")
+		seed     = flag.Int64("seed", 1, "candidate-generator seed")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	log.SetPrefix("statload: ")
+	log.SetFlags(0)
+
+	sweep, err := parseLevels(*levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxConc := sweep[len(sweep)-1]
+
+	// One shared transport sized for the largest level, so connections
+	// are reused across the sweep instead of churning through TIME_WAIT.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxConc + 8,
+		MaxIdleConnsPerHost: maxConc + 8,
+	}}
+
+	ids, numGates, err := openSessions(client, *url, *design, *bins, *sessions)
+	if err != nil {
+		log.Fatalf("opening sessions: %v", err)
+	}
+	log.Printf("pool ready: %d sessions on %s (%d gates)", len(ids), *design, numGates)
+
+	rep := &report{
+		Tool:       "statload",
+		URL:        *url,
+		Design:     *design,
+		NumGates:   numGates,
+		Bins:       *bins,
+		Batch:      *batch,
+		Sessions:   *sessions,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, conc := range sweep {
+		lvl := runLevel(client, *url, ids, numGates, *batch, conc, *duration, *seed)
+		rep.Levels = append(rep.Levels, lvl)
+		log.Printf("concurrency %4d: %6.1f qps  p50 %8.2fms  p99 %9.2fms  errors %d",
+			lvl.Concurrency, lvl.QPS, lvl.P50Ms, lvl.P99Ms, lvl.Errors)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// parseLevels parses the ascending concurrency sweep.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty level sweep")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// openSessions creates the pooled sessions the workers multiplex over.
+func openSessions(client *http.Client, base, design string, bins, n int) ([]string, int, error) {
+	ids := make([]string, n)
+	numGates := 0
+	for i := range ids {
+		body, err := json.Marshal(&openRequest{Design: design, Client: fmt.Sprintf("load-%d", i), Bins: bins})
+		if err != nil {
+			return nil, 0, err
+		}
+		resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return nil, 0, fmt.Errorf("open session %d: status %d body %s", i, resp.StatusCode, out)
+		}
+		var or openResponse
+		if err := json.Unmarshal(out, &or); err != nil {
+			return nil, 0, err
+		}
+		ids[i] = or.SessionID
+		numGates = or.NumGates
+	}
+	return ids, numGates, nil
+}
+
+// runLevel drives conc workers for the duration and aggregates their
+// latency samples.
+func runLevel(client *http.Client, base string, ids []string, numGates, batch, conc int, d time.Duration, seed int64) levelReport {
+	type sample struct {
+		lat time.Duration
+		err bool
+	}
+	perWorker := make([][]sample, conc)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			url := base + "/v1/sessions/" + ids[w%len(ids)] + "/whatif"
+			var samples []sample
+			for {
+				select {
+				case <-stop:
+					perWorker[w] = samples
+					return
+				default:
+				}
+				req := whatIfRequest{Candidates: make([]candidate, batch)}
+				for i := range req.Candidates {
+					req.Candidates[i] = candidate{
+						Gate:  int64(rng.Intn(numGates)),
+						Width: 1.0 + 3.0*rng.Float64(),
+					}
+				}
+				body, _ := json.Marshal(&req)
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				bad := err != nil
+				if err == nil {
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					bad = cerr != nil || resp.StatusCode != http.StatusOK
+				}
+				samples = append(samples, sample{lat: time.Since(t0), err: bad})
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []float64
+	requests, errors := 0, 0
+	for _, ws := range perWorker {
+		for _, s := range ws {
+			requests++
+			if s.err {
+				errors++
+				continue
+			}
+			lats = append(lats, float64(s.lat)/float64(time.Millisecond))
+		}
+	}
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	maxMs := 0.0
+	if len(lats) > 0 {
+		maxMs = lats[len(lats)-1]
+	}
+	ok := requests - errors
+	return levelReport{
+		Concurrency: conc,
+		DurationS:   elapsed.Seconds(),
+		Requests:    requests,
+		Errors:      errors,
+		QPS:         float64(ok) / elapsed.Seconds(),
+		CandPerSec:  float64(ok*batch) / elapsed.Seconds(),
+		P50Ms:       q(0.50),
+		P95Ms:       q(0.95),
+		P99Ms:       q(0.99),
+		MaxMs:       maxMs,
+	}
+}

@@ -1,0 +1,121 @@
+// Command statsized is the timing-as-a-service daemon: a long-running
+// HTTP/JSON server exposing the statsize Engine — session open/attach,
+// analyze, what-if (single and batch), incremental resize, checkpoint/
+// rollback, and streamed optimizer runs — over pooled incremental
+// Sessions with lease-based eviction.
+//
+// Quickstart:
+//
+//	statsized -addr :8790 &
+//	curl -s -X POST localhost:8790/v1/sessions -d '{"design":"c1908"}'
+//	curl -s localhost:8790/stats
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: optimizer streams are
+// canceled (each emits its terminal done event), in-flight what-if
+// batches finish, pooled sessions close, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"statsize"
+	"statsize/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8790", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		maxSessions  = flag.Int("max-sessions", 64, "live session cap; LRU unleased sessions are evicted beyond it")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "evict sessions unleased for this long (<0 disables)")
+		sweepEvery   = flag.Duration("sweep-every", 15*time.Second, "eviction sweep period")
+		maxBody      = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request body cap in bytes")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+		parallelism  = flag.Int("parallelism", 0, "engine worker parallelism (0 = GOMAXPROCS)")
+		bins         = flag.Int("bins", 0, "default SSTA grid bins (0 = engine default; per-session override via the API)")
+		readyFile    = flag.String("ready-file", "", "write the bound address to this file once listening (for harnesses)")
+	)
+	flag.Parse()
+	log.SetPrefix("statsized: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	var opts []statsize.Option
+	if *parallelism > 0 {
+		opts = append(opts, statsize.WithParallelism(*parallelism))
+	}
+	if *bins > 0 {
+		opts = append(opts, statsize.WithBins(*bins))
+	}
+	eng, err := statsize.New(opts...)
+	if err != nil {
+		log.Fatalf("engine: %v", err)
+	}
+
+	srv := server.New(eng, server.Config{
+		Addr:         *addr,
+		MaxSessions:  *maxSessions,
+		IdleTimeout:  *idleTimeout,
+		SweepEvery:   *sweepEvery,
+		MaxBodyBytes: *maxBody,
+		DrainTimeout: *drainTimeout,
+	})
+
+	served := make(chan error, 1)
+	go func() {
+		served <- srv.ListenAndServe(func(a net.Addr) {
+			log.Printf("listening on %s (max-sessions=%d idle-timeout=%s)", a, *maxSessions, *idleTimeout)
+			if *readyFile != "" {
+				if err := os.WriteFile(*readyFile, []byte(a.String()+"\n"), 0o644); err != nil {
+					log.Printf("ready-file: %v", err)
+				}
+			}
+		})
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-served:
+		// Listener failure before any signal: a fatal boot error.
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		return
+	case got := <-sig:
+		log.Printf("caught %s; draining (budget %s)", got, *drainTimeout)
+	}
+
+	// One more signal force-quits without waiting for the drain.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case got := <-sig:
+			log.Printf("caught second %s; exiting immediately", got)
+			os.Exit(1)
+		case <-done:
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-served; err != nil {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	close(done)
+	st := srv.Manager().Stats()
+	fmt.Fprintf(os.Stderr, "statsized: clean shutdown (sessions opened=%d evicted_idle=%d evicted_cap=%d)\n",
+		st.Opened, st.EvictedIdle, st.EvictedCap)
+}

@@ -13,6 +13,7 @@ import (
 	"statsize/internal/design"
 	"statsize/internal/montecarlo"
 	"statsize/internal/netlist"
+	"statsize/internal/session"
 	"statsize/internal/ssta"
 	"statsize/internal/sta"
 )
@@ -40,6 +41,13 @@ type Engine struct {
 	bins        int
 	objective   Objective
 	parallelism int
+
+	// counters is the engine-wide atomic session rollup behind Stats:
+	// every session the engine opens (Open, Optimize, OptimizeSuite)
+	// is bound to it and mirrors its activity inline. Atomic, so it
+	// sits above the mutex with the immutable configuration and is
+	// read lock-free.
+	counters session.Counters
 
 	mu    sync.Mutex
 	cache map[string]*design.Design // benchmark name -> min-sized base design
@@ -277,7 +285,22 @@ func (e *Engine) buildConfig(opts []RunOption) Config {
 // grid resolution and objective exactly as Optimize does, so a session
 // opened and optimized with the same options sees the same numbers.
 func (e *Engine) Open(ctx context.Context, d *Design, opts ...RunOption) (*Session, error) {
-	return core.OpenSession(ctx, d.Clone(), e.buildConfig(opts))
+	return e.openSession(ctx, d.Clone(), e.buildConfig(opts))
+}
+
+// openSession opens a session and binds it to the engine's stats
+// rollup; every engine path that opens a session goes through here so
+// Stats sees all of them.
+func (e *Engine) openSession(ctx context.Context, d *design.Design, cfg Config) (*Session, error) {
+	s, err := core.OpenSession(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.BindCounters(&e.counters); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Optimize sizes a clone of d with the named optimizer (see Optimizers
@@ -296,7 +319,7 @@ func (e *Engine) Optimize(ctx context.Context, d *Design, optimizer string, opts
 		return nil, err
 	}
 	cfg := e.buildConfig(opts)
-	s, err := core.OpenSession(ctx, d.Clone(), cfg)
+	s, err := e.openSession(ctx, d.Clone(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -395,4 +418,54 @@ dispatch:
 		batchErr = fmt.Errorf("statsize: suite canceled with runs in flight: %w", ctx.Err())
 	}
 	return out, batchErr
+}
+
+// EngineStats is a point-in-time snapshot of engine-wide accounting:
+// every session the engine opened (through Open as well as the private
+// sessions backing Optimize and OptimizeSuite runs) reports into it
+// live. The delay-cache rollup sums DelayCacheStats over the engine's
+// cached benchmark base designs — clones share their base's cache, so
+// session traffic on benchmark designs is covered; designs loaded
+// through LoadBench/NewDesign carry private caches outside this rollup.
+// The JSON tags are a stable wire contract: statsized serves this
+// struct verbatim from /stats.
+type EngineStats struct {
+	SessionsOpened   int64 `json:"sessions_opened"`   // sessions ever opened
+	SessionsLive     int64 `json:"sessions_live"`     // opened minus closed
+	WhatIfsServed    int64 `json:"whatifs_served"`    // what-if evaluations (single + batch members)
+	ResizesCommitted int64 `json:"resizes_committed"` // committed incremental resizes
+	Checkpoints      int64 `json:"checkpoints"`       // checkpoints taken
+	Rollbacks        int64 `json:"rollbacks"`         // rollbacks applied
+
+	DelayCacheHits    uint64 `json:"delay_cache_hits"`    // memo hits across cached benchmark designs
+	DelayCacheMisses  uint64 `json:"delay_cache_misses"`  // memo misses (entries computed)
+	DelayCacheFlushes uint64 `json:"delay_cache_flushes"` // wholesale shard flushes
+	DelayCacheEntries int    `json:"delay_cache_entries"` // live memo entries
+	BenchmarksCached  int    `json:"benchmarks_cached"`   // elaborated benchmark designs held
+}
+
+// Stats snapshots the engine-wide accounting. It never takes a session
+// lock — sessions mirror their activity into an atomic rollup as it
+// happens — so it is safe to poll from a health endpoint while
+// long-running optimizer runs hold their sessions.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		SessionsOpened:   e.counters.Opened.Load(),
+		SessionsLive:     e.counters.Live(),
+		WhatIfsServed:    e.counters.WhatIfs.Load(),
+		ResizesCommitted: e.counters.Resizes.Load(),
+		Checkpoints:      e.counters.Checkpoints.Load(),
+		Rollbacks:        e.counters.Rollbacks.Load(),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st.BenchmarksCached = len(e.cache)
+	for _, d := range e.cache {
+		hits, misses, flushes, entries := d.DelayCacheStats()
+		st.DelayCacheHits += hits
+		st.DelayCacheMisses += misses
+		st.DelayCacheFlushes += flushes
+		st.DelayCacheEntries += entries
+	}
+	return st
 }

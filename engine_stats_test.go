@@ -1,0 +1,130 @@
+package statsize
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestEngineStatsCounterAccuracy hammers one engine from many
+// goroutines — each opens a session, serves a fixed mix of what-ifs
+// (single and batch), resizes, checkpoints and rollbacks, and closes —
+// and then checks the engine-wide rollup against the exact totals the
+// workload performed. The rollup is updated with atomics from inside
+// the session lock, so any lost update or double count is a bug this
+// test catches deterministically.
+func TestEngineStatsCounterAccuracy(t *testing.T) {
+	eng, err := New(WithBins(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		rounds  = 3
+		batchN  = 3
+	)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run := func() error {
+				d, err := eng.Benchmark("c17")
+				if err != nil {
+					return err
+				}
+				s, err := eng.Open(ctx, d)
+				if err != nil {
+					return err
+				}
+				defer s.Close()
+				for r := 0; r < rounds; r++ {
+					if _, err := s.WhatIf(ctx, 0, 2.0); err != nil {
+						return err
+					}
+					cands := make([]Candidate, batchN)
+					for i := range cands {
+						cands[i] = Candidate{Gate: GateID(i % 2), Width: 1.5 + 0.5*float64(i)}
+					}
+					if _, err := s.WhatIfBatch(ctx, cands); err != nil {
+						return err
+					}
+					if _, err := s.Checkpoint(); err != nil {
+						return err
+					}
+					if _, err := s.Resize(ctx, 1, 2.5); err != nil {
+						return err
+					}
+					if err := s.Rollback(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := run(); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.SessionsOpened != workers {
+		t.Errorf("SessionsOpened = %d, want %d", st.SessionsOpened, workers)
+	}
+	if st.SessionsLive != 0 {
+		t.Errorf("SessionsLive = %d, want 0 after all sessions closed", st.SessionsLive)
+	}
+	if want := int64(workers * rounds * (1 + batchN)); st.WhatIfsServed != want {
+		t.Errorf("WhatIfsServed = %d, want %d", st.WhatIfsServed, want)
+	}
+	if want := int64(workers * rounds); st.ResizesCommitted != want {
+		t.Errorf("ResizesCommitted = %d, want %d", st.ResizesCommitted, want)
+	}
+	if want := int64(workers * rounds); st.Checkpoints != want {
+		t.Errorf("Checkpoints = %d, want %d", st.Checkpoints, want)
+	}
+	if want := int64(workers * rounds); st.Rollbacks != want {
+		t.Errorf("Rollbacks = %d, want %d", st.Rollbacks, want)
+	}
+	if st.BenchmarksCached != 1 {
+		t.Errorf("BenchmarksCached = %d, want 1", st.BenchmarksCached)
+	}
+	if st.DelayCacheEntries == 0 || st.DelayCacheMisses == 0 {
+		t.Errorf("delay-cache rollup empty (entries=%d misses=%d); expected activity from c17 sessions",
+			st.DelayCacheEntries, st.DelayCacheMisses)
+	}
+}
+
+// TestEngineStatsCountsOptimizeSessions pins that the private sessions
+// behind Engine.Optimize report into the rollup too, and return Live
+// to its prior level when the run's deferred Close fires.
+func TestEngineStatsCountsOptimizeSessions(t *testing.T) {
+	eng, err := New(WithBins(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Optimize(context.Background(), d, "accelerated", MaxIterations(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.SessionsOpened != 1 {
+		t.Errorf("SessionsOpened = %d, want 1 (the optimize run's private session)", st.SessionsOpened)
+	}
+	if st.SessionsLive != 0 {
+		t.Errorf("SessionsLive = %d, want 0 after the run closed its session", st.SessionsLive)
+	}
+	if st.ResizesCommitted == 0 {
+		t.Errorf("ResizesCommitted = 0, want >0 from the optimize run's commits")
+	}
+}

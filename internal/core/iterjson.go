@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"statsize/internal/netlist"
+)
+
+// iterRecordJSON is the pinned wire shape of an IterRecord. The field
+// names are a public contract: the daemon's SSE progress stream emits
+// records in exactly this encoding and external clients parse it, so
+// renaming a Go field must not move the wire format — that is why the
+// encoding goes through this explicit mirror instead of reflecting over
+// IterRecord directly. TestIterRecordJSONGolden pins the bytes.
+//
+// Floats are encoded as JSON numbers in Go's shortest round-trip form,
+// which parses back to the identical float64 bit pattern — the property
+// the golden-trace SSE replay test relies on. Elapsed travels as
+// integer nanoseconds.
+type iterRecordJSON struct {
+	Iter                 int              `json:"iter"`
+	Gates                []netlist.GateID `json:"gates"`
+	Sensitivity          float64          `json:"sensitivity"`
+	Objective            float64          `json:"objective"`
+	TotalWidth           float64          `json:"total_width"`
+	CandidatesConsidered int              `json:"candidates_considered"`
+	CandidatesPruned     int              `json:"candidates_pruned"`
+	NodesVisited         int              `json:"nodes_visited"`
+	ElapsedNS            int64            `json:"elapsed_ns"`
+}
+
+// MarshalJSON encodes the record in its stable wire form. A record
+// that sized no gates encodes "gates":[] rather than null, so clients
+// can index unconditionally.
+func (r IterRecord) MarshalJSON() ([]byte, error) {
+	gates := r.Gates
+	if gates == nil {
+		gates = []netlist.GateID{}
+	}
+	return json.Marshal(iterRecordJSON{
+		Iter:                 r.Iter,
+		Gates:                gates,
+		Sensitivity:          r.Sensitivity,
+		Objective:            r.Objective,
+		TotalWidth:           r.TotalWidth,
+		CandidatesConsidered: r.CandidatesConsidered,
+		CandidatesPruned:     r.CandidatesPruned,
+		NodesVisited:         r.NodesVisited,
+		ElapsedNS:            r.Elapsed.Nanoseconds(),
+	})
+}
+
+// UnmarshalJSON decodes the stable wire form; floats round-trip
+// bit-exactly.
+func (r *IterRecord) UnmarshalJSON(b []byte) error {
+	var w iterRecordJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = IterRecord{
+		Iter:                 w.Iter,
+		Gates:                w.Gates,
+		Sensitivity:          w.Sensitivity,
+		Objective:            w.Objective,
+		TotalWidth:           w.TotalWidth,
+		CandidatesConsidered: w.CandidatesConsidered,
+		CandidatesPruned:     w.CandidatesPruned,
+		NodesVisited:         w.NodesVisited,
+		Elapsed:              time.Duration(w.ElapsedNS),
+	}
+	return nil
+}

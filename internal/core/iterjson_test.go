@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"statsize/internal/netlist"
+)
+
+// TestIterRecordJSONGolden pins the exact bytes of the IterRecord wire
+// encoding. This encoding doubles as the daemon's SSE progress event,
+// so any drift — a renamed key, a reordered field, a changed number
+// format — breaks external clients; the pinned literal makes such a
+// change a conscious wire-format revision instead of a silent fallout
+// of a Go-side refactor.
+func TestIterRecordJSONGolden(t *testing.T) {
+	rec := IterRecord{
+		Iter:                 7,
+		Gates:                []netlist.GateID{3, 141},
+		Sensitivity:          math.Nextafter(0.3, 1), // 0.30000000000000004: exercises shortest-round-trip encoding
+		Objective:            math.Pi,
+		TotalWidth:           512.5,
+		CandidatesConsidered: 880,
+		CandidatesPruned:     761,
+		NodesVisited:         12345,
+		Elapsed:              1500 * time.Microsecond,
+	}
+	const want = `{"iter":7,"gates":[3,141],"sensitivity":0.30000000000000004,` +
+		`"objective":3.141592653589793,"total_width":512.5,` +
+		`"candidates_considered":880,"candidates_pruned":761,` +
+		`"nodes_visited":12345,"elapsed_ns":1500000}`
+	got, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("IterRecord wire encoding drifted:\n got  %s\n want %s", got, want)
+	}
+
+	// Zero value: gates must encode as [] (not null) so clients index
+	// unconditionally.
+	zero, err := json.Marshal(IterRecord{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantZero = `{"iter":0,"gates":[],"sensitivity":0,"objective":0,"total_width":0,` +
+		`"candidates_considered":0,"candidates_pruned":0,"nodes_visited":0,"elapsed_ns":0}`
+	if string(zero) != wantZero {
+		t.Fatalf("zero IterRecord encoding drifted:\n got  %s\n want %s", zero, wantZero)
+	}
+}
+
+// TestIterRecordJSONRoundTrip proves decode(encode(r)) restores every
+// field, with floats compared by bit pattern — the property the SSE
+// golden-trace replay depends on.
+func TestIterRecordJSONRoundTrip(t *testing.T) {
+	recs := []IterRecord{
+		{
+			Iter:        1,
+			Gates:       []netlist.GateID{0},
+			Sensitivity: 1e-17,   // denormal-adjacent tiny sensitivity
+			Objective:   2.625,   // exactly representable
+			TotalWidth:  1.0 / 3, // repeating binary fraction
+			Elapsed:     time.Nanosecond,
+		},
+		{
+			Iter:                 999,
+			Gates:                []netlist.GateID{5, 6, 7},
+			Sensitivity:          math.SmallestNonzeroFloat64,
+			Objective:            math.MaxFloat64,
+			TotalWidth:           0.1,
+			CandidatesConsidered: 1 << 30,
+			CandidatesPruned:     1,
+			NodesVisited:         2,
+			Elapsed:              3 * time.Hour,
+		},
+	}
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back IterRecord
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Iter != rec.Iter || back.CandidatesConsidered != rec.CandidatesConsidered ||
+			back.CandidatesPruned != rec.CandidatesPruned || back.NodesVisited != rec.NodesVisited ||
+			back.Elapsed != rec.Elapsed {
+			t.Fatalf("round trip changed integer fields: got %+v want %+v", back, rec)
+		}
+		if len(back.Gates) != len(rec.Gates) {
+			t.Fatalf("round trip changed gates: got %v want %v", back.Gates, rec.Gates)
+		}
+		for i := range rec.Gates {
+			if back.Gates[i] != rec.Gates[i] {
+				t.Fatalf("round trip changed gates: got %v want %v", back.Gates, rec.Gates)
+			}
+		}
+		for _, f := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"Sensitivity", back.Sensitivity, rec.Sensitivity},
+			{"Objective", back.Objective, rec.Objective},
+			{"TotalWidth", back.TotalWidth, rec.TotalWidth},
+		} {
+			if math.Float64bits(f.got) != math.Float64bits(f.want) {
+				t.Errorf("%s not bit-identical after round trip: got %x want %x",
+					f.name, math.Float64bits(f.got), math.Float64bits(f.want))
+			}
+		}
+	}
+}

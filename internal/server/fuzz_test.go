@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"statsize"
+)
+
+// fuzzEnv is the shared daemon the decoder fuzzers drive: one engine,
+// one pre-opened c17 session. Shared across fuzz iterations (an engine
+// per input would dominate the run) and guarded for the parallel fuzz
+// workers by being internally concurrency-safe.
+var (
+	fuzzOnce sync.Once
+	fuzzTS   *httptest.Server
+	fuzzSess string
+)
+
+func fuzzEnv(t testing.TB) (base, sessID string) {
+	fuzzOnce.Do(func() {
+		eng, err := statsize.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(eng, Config{
+			MaxSessions:  4,
+			MaxBodyBytes: 8 << 10, // small cap so oversized inputs 413 cheaply
+			SweepEvery:   time.Hour,
+			Logf:         noLog,
+		})
+		fuzzTS = httptest.NewServer(s.Handler())
+		resp := openSession(t, fuzzTS.URL, &OpenSessionRequest{Design: "c17", Client: "fuzz-pinned", Bins: 120})
+		fuzzSess = resp.SessionID
+	})
+	return fuzzTS.URL, fuzzSess
+}
+
+// FuzzRequestDecoders throws arbitrary bytes at every JSON-decoding
+// endpoint. The contract under fuzz: the daemon answers — a 2xx for
+// inputs that happen to be valid, a 4xx for everything else — and never
+// panics. A panic would surface as the recover middleware's 500
+// "internal_panic", so any >=500 status fails the target.
+func FuzzRequestDecoders(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"design":"c17"}`,
+		`{"design":"c17","bins":400,"objective":"p99"}`,
+		`{"design":"c17","objective":"p-1e308"}`,
+		`{"gate":0,"width":2}`,
+		`{"gate":-9223372036854775808,"width":1e309}`,
+		`{"candidates":[{"gate":0,"width":1.5},{"gate":1,"width":2}]}`,
+		`{"candidates":[{"gate":184467440737095516,"width":-0}]}`,
+		`{"percentiles":[0.5,0.99]}`,
+		`{"percentiles":[0,1,0.5]}`,
+		`{"optimizer":"deterministic","max_iterations":1}`,
+		`{"optimizer":"../../../etc/passwd"}`,
+		`{"design":`,
+		`{"design":"c17"} trailing`,
+		`{"design":"c17","bench":"INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n"}`,
+		strings.Repeat(`[`, 5000),
+		`{"width":` + strings.Repeat("9", 400) + `}`,
+		"\x00\xff\xfe garbage",
+		`{"a":` + strings.Repeat(`{"a":`, 200) + `1` + strings.Repeat(`}`, 201),
+	}
+	for ep := 0; ep < 5; ep++ {
+		for _, s := range seeds {
+			f.Add(uint8(ep), []byte(s))
+		}
+	}
+	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
+		base, sess := fuzzEnv(t)
+		endpoints := []string{
+			"/v1/sessions",
+			"/v1/sessions/" + sess + "/analyze",
+			"/v1/sessions/" + sess + "/whatif",
+			"/v1/sessions/" + sess + "/resize",
+			"/v1/sessions/" + sess + "/optimize",
+		}
+		url := base + endpoints[int(which)%len(endpoints)]
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("reading response: %v", err)
+		}
+		if resp.StatusCode >= 500 {
+			t.Fatalf("POST %s with %q: status %d — the daemon must 4xx hostile bodies, never fail",
+				url, body, resp.StatusCode)
+		}
+	})
+}

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"statsize"
+)
+
+// writeJSON emits one 2xx JSON response.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) // a failed write means the client left; nothing to do
+}
+
+// writeError emits the error envelope for any handler failure.
+func writeError(w http.ResponseWriter, err *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(err.Status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: err})
+}
+
+// toAPIError normalizes every failure class a handler can see into an
+// apiError with the right status: pool errors to 404/410/503, session
+// sentinel errors to 410/409, apiErrors pass through, everything else
+// is a 400 (the session layer validates inputs and its errors describe
+// client mistakes — bad gate ids, bad widths).
+func toAPIError(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, ErrNoSession):
+		return &apiError{Status: http.StatusNotFound, Code: "no_session", Message: err.Error()}
+	case errors.Is(err, ErrSessionGone):
+		return &apiError{Status: http.StatusGone, Code: "session_gone", Message: err.Error()}
+	case errors.Is(err, ErrPoolFull):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "pool_full", Message: err.Error()}
+	case errors.Is(err, statsize.ErrSessionClosed):
+		return &apiError{Status: http.StatusGone, Code: "session_closed", Message: err.Error()}
+	case errors.Is(err, statsize.ErrNoCheckpoint):
+		return &apiError{Status: http.StatusConflict, Code: "no_checkpoint", Message: err.Error()}
+	default:
+		return badRequest("request_failed", "%v", err)
+	}
+}
+
+// sessionErr wraps a session-layer error for an already-leased handle.
+func sessionErr(err error) *apiError { return toAPIError(err) }
+
+// routes builds the daemon's mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/analyze", s.withLease(s.handleAnalyze))
+	mux.HandleFunc("POST /v1/sessions/{id}/whatif", s.withLease(s.handleWhatIf))
+	mux.HandleFunc("POST /v1/sessions/{id}/resize", s.withLease(s.handleResize))
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.withLease(s.handleCheckpoint))
+	mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.withLease(s.handleRollback))
+	mux.HandleFunc("POST /v1/sessions/{id}/optimize", s.withLease(s.handleOptimize))
+	return mux
+}
+
+// withLease resolves the {id} path segment to a leased session for the
+// request's duration.
+func (s *Server) withLease(h func(http.ResponseWriter, *http.Request, *Lease)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		lease, err := s.mgr.Acquire(r.PathValue("id"))
+		if err != nil {
+			writeError(w, toAPIError(err))
+			return
+		}
+		defer lease.Release()
+		h(w, r, lease)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	select {
+	case <-s.streamCtx.Done():
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	default:
+	}
+	writeJSON(w, code, &HealthResponse{
+		Status:   status,
+		UptimeS:  s.clock().Sub(s.started).Seconds(),
+		GoDesign: "statsized",
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		Engine:   s.eng.Stats(),
+		Sessions: s.mgr.Stats(),
+	})
+}
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req OpenSessionRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateOpen(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	lease, resp, err := s.mgr.OpenOrAttach(r.Context(), &req)
+	if err != nil {
+		writeError(w, toAPIError(err))
+		return
+	}
+	lease.Release()
+	status := http.StatusOK
+	if resp.Created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mgr.Info(r.PathValue("id"))
+	if err != nil {
+		writeError(w, toAPIError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Close(r.PathValue("id")); err != nil {
+		writeError(w, toAPIError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Closed bool `json:"closed"`
+	}{Closed: true})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, lease *Lease) {
+	var req AnalyzeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateAnalyze(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sess := lease.Session()
+	obj, err := sess.Objective()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	tw, err := sess.TotalWidth()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	resp := &AnalyzeResponse{
+		Objective:     obj,
+		ObjectiveName: lease.ObjectiveName(),
+		TotalWidth:    tw,
+		NumGates:      lease.NumGates(),
+	}
+	if len(req.Percentiles) > 0 {
+		resp.Percentiles = make(map[string]float64, len(req.Percentiles))
+		for _, p := range req.Percentiles {
+			v, err := sess.Percentile(p)
+			if err != nil {
+				writeError(w, sessionErr(err))
+				return
+			}
+			resp.Percentiles[strconv.FormatFloat(p, 'g', -1, 64)] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, lease *Lease) {
+	var req WhatIfRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	cands, apiErr := validateWhatIf(&req)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	sess := lease.Session()
+	base, err := sess.Objective()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	results, err := sess.WhatIfBatch(r.Context(), cands)
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	resp := &WhatIfResponse{Base: base, Results: make([]WhatIfResultWire, len(results))}
+	for i, res := range results {
+		resp.Results[i] = WhatIfResultWire{
+			Gate:         int64(res.Gate),
+			Width:        res.Width,
+			Objective:    res.Objective,
+			Delta:        res.Delta,
+			Sensitivity:  res.Sensitivity,
+			NodesVisited: res.NodesVisited,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request, lease *Lease) {
+	var req ResizeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	g, width, apiErr := validateResize(&req)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	st, err := lease.Session().Resize(r.Context(), g, width)
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, &ResizeResponse{
+		Gate:            int64(st.Gate),
+		OldWidth:        st.OldWidth,
+		NewWidth:        st.NewWidth,
+		NodesRecomputed: st.NodesRecomputed,
+		FullPassNodes:   st.FullPassNodes,
+		Objective:       st.Objective,
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, lease *Lease) {
+	depth, err := lease.Session().Checkpoint()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, &CheckpointResponse{Depth: depth})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request, lease *Lease) {
+	sess := lease.Session()
+	if err := sess.Rollback(); err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	depth, err := sess.CheckpointDepth()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, &CheckpointResponse{Depth: depth})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request, lease *Lease) {
+	var req OptimizeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateOptimize(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.streamOptimize(w, r, lease, &req)
+}
+
+// recoverMiddleware turns a handler panic into a 500 instead of
+// killing the connection silently; the daemon itself survives (the
+// fuzz suite's job is to prove this path stays unreachable from
+// request bodies).
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // the net/http-sanctioned abort, not a bug
+				}
+				writeError(w, &apiError{
+					Status:  http.StatusInternalServerError,
+					Code:    "internal_panic",
+					Message: fmt.Sprintf("handler panic: %v", rec),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

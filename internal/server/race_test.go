@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"statsize"
+)
+
+// TestEvictVsQueryRace hammers the lease/evict exclusion under -race:
+// workers continuously open-or-attach and run what-ifs while a sweeper
+// evicts as aggressively as the budgets allow (IdleTimeout of 1ns makes
+// every unleased session reclaimable, MaxSessions below the client
+// count forces constant cap pressure). The invariant: a leased session
+// is never closed underneath its holder, so no what-if through a live
+// lease may ever observe ErrSessionClosed.
+func TestEvictVsQueryRace(t *testing.T) {
+	eng, err := statsize.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(eng, Config{
+		MaxSessions: 3,
+		IdleTimeout: time.Nanosecond,
+	})
+	defer m.CloseAll()
+	ctx := context.Background()
+
+	const (
+		workers = 6
+		clients = 5 // > MaxSessions so opens keep evicting
+		rounds  = 25
+	)
+	stop := make(chan struct{})
+	var sweeps sync.WaitGroup
+	sweeps.Add(1)
+	go func() {
+		defer sweeps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Sweep()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				client := fmt.Sprintf("client-%d", (w+i)%clients)
+				lease, _, err := m.OpenOrAttach(ctx, &OpenSessionRequest{
+					Design: "c17", Client: client, Bins: 120,
+				})
+				if errors.Is(err, ErrPoolFull) {
+					continue // every slot leased right now; acceptable
+				}
+				if err != nil {
+					errc <- fmt.Errorf("worker %d round %d open: %w", w, i, err)
+					return
+				}
+				_, err = lease.Session().WhatIfBatch(ctx, []statsize.Candidate{
+					{Gate: 0, Width: 1.5},
+					{Gate: 1, Width: 2.0},
+				})
+				lease.Release()
+				if err != nil {
+					// ErrSessionClosed here means eviction broke the lease
+					// exclusion — the bug this test exists to catch.
+					errc <- fmt.Errorf("worker %d round %d what-if: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	sweeps.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	st := m.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("leases leaked: %+v", st)
+	}
+	if st.Live > m.cfg.MaxSessions {
+		t.Fatalf("pool exceeded its cap: %+v", st)
+	}
+}

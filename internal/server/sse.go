@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"statsize"
+)
+
+// sseWriter frames server-sent events. The grammar is deliberately
+// tiny and documented in DESIGN.md "Service layer":
+//
+//	event: start   data: StartEvent        — once, before the run
+//	event: iter    data: core.IterRecord   — per sizing iteration, in
+//	                                         its stable JSON encoding
+//	event: done    data: DoneEvent         — once, terminal
+//
+// Iteration events carry an SSE id field with the iteration number so
+// a client can tell where a broken stream stopped (the daemon does not
+// resume streams; the id is diagnostic).
+type sseWriter struct {
+	w      http.ResponseWriter
+	flush  func()
+	failed bool // a write failed (client gone); subsequent writes no-op
+}
+
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	sw := &sseWriter{w: w, flush: func() {}}
+	if f, ok := w.(http.Flusher); ok {
+		sw.flush = f.Flush
+	}
+	return sw
+}
+
+// event writes one frame; id < 0 omits the id field. Write errors mark
+// the writer failed — the caller keeps draining its producer (bounded
+// by cancellation) but stops touching the dead connection.
+func (sw *sseWriter) event(name string, id int, payload any) {
+	if sw.failed {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Payloads are our own wire structs; a marshal failure is a
+		// programming error, but a broken stream must not panic the
+		// daemon mid-response.
+		sw.failed = true
+		return
+	}
+	if id >= 0 {
+		if _, err := fmt.Fprintf(sw.w, "id: %d\n", id); err != nil {
+			sw.failed = true
+			return
+		}
+	}
+	if _, err := fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		sw.failed = true
+		return
+	}
+	sw.flush()
+}
+
+// streamOptimize runs the named optimizer on the leased session and
+// streams progress. The run context is the request context bounded by
+// the server's stream context, so both a departing client and a daemon
+// shutdown cancel the optimizer between iterations (the ctxflow
+// contract bounds that latency to one unit of work); the terminal done
+// event then reports the partial run with Canceled set.
+func (s *Server) streamOptimize(w http.ResponseWriter, r *http.Request, lease *Lease, req *OptimizeRequest) {
+	sess := lease.Session()
+
+	// The pre-run state for the start event. Another lease holder could
+	// mutate between these queries and the run; that is the documented
+	// cost of pooled sessions, and single-writer clients (the load
+	// generator, the golden replay test) see exact values.
+	initObj, err := sess.Objective()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+	initW, err := sess.TotalWidth()
+	if err != nil {
+		writeError(w, sessionErr(err))
+		return
+	}
+
+	runCtx, cancel := mergeDone(r.Context(), s.streamCtx)
+	defer cancel()
+
+	sw := newSSEWriter(w)
+	sw.event("start", -1, &StartEvent{
+		SessionID:        lease.ID(),
+		Design:           lease.Design(),
+		Optimizer:        req.Optimizer,
+		Objective:        lease.ObjectiveName(),
+		InitialObjective: initObj,
+		InitialWidth:     initW,
+	})
+
+	events := make(chan statsize.IterRecord, 16)
+	type outcome struct {
+		res *statsize.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		opts := []statsize.RunOption{
+			statsize.OnIteration(func(rec statsize.IterRecord) {
+				select {
+				case events <- rec:
+				case <-runCtx.Done():
+				}
+			}),
+		}
+		if req.MaxIterations > 0 {
+			opts = append(opts, statsize.MaxIterations(req.MaxIterations))
+		}
+		if req.MaxAreaIncrease > 0 {
+			opts = append(opts, statsize.MaxAreaIncrease(req.MaxAreaIncrease))
+		}
+		if req.MultiSize > 0 {
+			opts = append(opts, statsize.MultiSize(req.MultiSize))
+		}
+		if obj := lease.Objective(); obj != nil {
+			opts = append(opts, statsize.ForObjective(obj))
+		}
+		res, err := s.eng.OptimizeSession(runCtx, sess, req.Optimizer, opts...)
+		close(events)
+		done <- outcome{res: res, err: err}
+	}()
+
+drain:
+	for {
+		select {
+		case rec, ok := <-events:
+			if !ok {
+				break drain
+			}
+			sw.event("iter", rec.Iter, rec)
+		case <-runCtx.Done():
+			// Stop forwarding; the optimizer observes the same context
+			// and returns shortly with its partial result.
+			break drain
+		}
+	}
+	out := <-done
+
+	ev := DoneEvent{Canceled: errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded)}
+	if out.err != nil && !ev.Canceled {
+		ev.Error = out.err.Error()
+	} else if ev.Canceled {
+		ev.Error = "run canceled"
+	}
+	if res := out.res; res != nil {
+		ev.Iterations = res.Iterations
+		ev.FinalObjective = res.FinalObjective
+		ev.FinalWidth = res.FinalWidth
+		ev.ImprovementPct = res.Improvement()
+		ev.AreaIncreasePct = res.AreaIncrease()
+		ev.ElapsedNS = res.Elapsed.Nanoseconds()
+	}
+	sw.event("done", -1, &ev)
+}
+
+// mergeDone derives a context canceled when either parent is: the
+// child of a, with an AfterFunc watcher propagating b's cancellation.
+func mergeDone(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}

@@ -1,0 +1,49 @@
+package session
+
+import "sync/atomic"
+
+// Counters is an engine-wide atomic rollup of session activity. One
+// Counters instance is shared by every session the owning engine opens:
+// sessions update it inline (under their own lock, with atomic adds) as
+// operations commit, so a reader gets a live snapshot without touching
+// any session lock — an in-flight optimizer run holding a session for
+// minutes cannot block a stats query.
+//
+// The per-session Stats struct remains the precise accounting for one
+// session's lifetime; Counters is the cross-session aggregate backing
+// Engine.Stats and the daemon's /stats endpoint.
+type Counters struct {
+	Opened      atomic.Int64 // sessions opened
+	Closed      atomic.Int64 // sessions closed
+	WhatIfs     atomic.Int64 // what-if evaluations served (single + batch)
+	Resizes     atomic.Int64 // committed resizes
+	Checkpoints atomic.Int64 // checkpoints taken
+	Rollbacks   atomic.Int64 // rollbacks applied
+}
+
+// Live returns the number of bound sessions opened but not yet closed.
+func (c *Counters) Live() int64 { return c.Opened.Load() - c.Closed.Load() }
+
+// BindCounters attaches an engine-wide rollup to the session and
+// records the open. Bind at most once, immediately after Open and
+// before the session is shared; the session then mirrors its activity
+// into the rollup until Close (which records the matching close). An
+// unbound session accounts only in its private Stats.
+func (s *Session) BindCounters(c *Counters) error {
+	tx, err := s.Acquire()
+	if err != nil {
+		return err
+	}
+	defer tx.Release()
+	s.counters = c
+	c.Opened.Add(1)
+	return nil
+}
+
+// count applies fn to the bound rollup, if any. Callers hold the
+// session lock.
+func (s *Session) count(fn func(*Counters)) {
+	if s.counters != nil {
+		fn(s.counters)
+	}
+}

@@ -84,6 +84,10 @@ type Session struct {
 
 	marks []mark
 	stats Stats
+
+	// counters, when bound, is the engine-wide atomic rollup this
+	// session mirrors its activity into (see BindCounters).
+	counters *Counters
 }
 
 // mark is one checkpoint: paired design and analysis snapshots plus the
@@ -177,6 +181,7 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	s.marks = nil
+	s.count(func(c *Counters) { c.Closed.Add(1) })
 	return nil
 }
 

@@ -64,6 +64,7 @@ func (t *Tx) Resize(ctx context.Context, g netlist.GateID, w float64) (ResizeSta
 	s.stats.Resizes++
 	s.stats.NodesRecomputed += n
 	s.stats.LastResizeNodes = n
+	s.count(func(c *Counters) { c.Resizes.Add(1) })
 	return ResizeStats{
 		Gate:            g,
 		OldWidth:        oldW,
@@ -89,6 +90,7 @@ func (t *Tx) WhatIf(ctx context.Context, g netlist.GateID, w float64) (WhatIfRes
 	}
 	s.stats.WhatIfs++
 	s.stats.WhatIfNodesVisited += res.NodesVisited
+	s.count(func(c *Counters) { c.WhatIfs.Add(1) })
 	return res, nil
 }
 
@@ -189,6 +191,7 @@ func (t *Tx) WhatIfBatch(ctx context.Context, candidates []Candidate) ([]WhatIfR
 		s.stats.WhatIfNodesVisited += p.visited
 	}
 	s.stats.WhatIfs += len(results)
+	s.count(func(c *Counters) { c.WhatIfs.Add(int64(len(results))) })
 	return results, nil
 }
 
@@ -203,6 +206,7 @@ func (t *Tx) Checkpoint() int {
 		hasDeadline: s.hasDeadline,
 	})
 	s.stats.Checkpoints++
+	s.count(func(c *Counters) { c.Checkpoints.Add(1) })
 	return len(s.marks)
 }
 
@@ -223,6 +227,7 @@ func (t *Tx) Rollback() error {
 	s.deadline = m.deadline
 	s.hasDeadline = m.hasDeadline
 	s.stats.Rollbacks++
+	s.count(func(c *Counters) { c.Rollbacks.Add(1) })
 	return nil
 }
 
