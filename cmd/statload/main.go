@@ -164,6 +164,16 @@ func parseLevels(s string) ([]int, error) {
 	return out, nil
 }
 
+// bodyCap bounds every response read: the daemon's replies are small
+// JSON documents, so a megabyte is an order of magnitude of headroom,
+// and a misbehaving endpoint cannot balloon the load generator.
+const bodyCap = 1 << 20
+
+// readBounded drains at most bodyCap bytes of an HTTP response body.
+func readBounded(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, bodyCap))
+}
+
 // openSessions creates the pooled sessions the workers multiplex over.
 func openSessions(client *http.Client, base, design string, bins, n int) ([]string, int, error) {
 	ids := make([]string, n)
@@ -177,7 +187,7 @@ func openSessions(client *http.Client, base, design string, bins, n int) ([]stri
 		if err != nil {
 			return nil, 0, err
 		}
-		out, err := io.ReadAll(resp.Body)
+		out, err := readBounded(resp)
 		resp.Body.Close()
 		if err != nil {
 			return nil, 0, err
@@ -232,7 +242,7 @@ func runLevel(client *http.Client, base string, ids []string, numGates, batch, c
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 				bad := err != nil
 				if err == nil {
-					_, cerr := io.Copy(io.Discard, resp.Body)
+					_, cerr := io.Copy(io.Discard, io.LimitReader(resp.Body, bodyCap))
 					resp.Body.Close()
 					bad = cerr != nil || resp.StatusCode != http.StatusOK
 				}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestReadBoundedCapsOversizedResponses pins the load generator's
+// ingress bound: a misbehaving (or hostile) endpoint streaming an
+// arbitrarily large body must cost at most bodyCap bytes of memory,
+// not hang the sweep on an unbounded read.
+func TestReadBoundedCapsOversizedResponses(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(bytes.Repeat([]byte("x"), 3*bodyCap))
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := readBounded(resp)
+	if err != nil {
+		t.Fatalf("readBounded: %v", err)
+	}
+	if len(out) != bodyCap {
+		t.Fatalf("readBounded returned %d bytes, want the %d-byte cap", len(out), bodyCap)
+	}
+}
+
+// TestReadBoundedPassesSmallBodies: ordinary daemon replies come
+// through intact.
+func TestReadBoundedPassesSmallBodies(t *testing.T) {
+	const payload = `{"session_id":"s1","num_gates":6}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(payload))
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := readBounded(resp)
+	if err != nil {
+		t.Fatalf("readBounded: %v", err)
+	}
+	if string(out) != payload {
+		t.Fatalf("readBounded = %q, want %q", out, payload)
+	}
+}

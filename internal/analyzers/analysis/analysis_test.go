@@ -51,11 +51,21 @@ func TestSuppressionWindow(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 	var got []string
+	audits := 0
 	for _, d := range diags {
+		if d.Analyzer == analysis.SuppressAuditName {
+			// The deliberately-detached directive covers nothing, so the
+			// audit must flag it as stale.
+			audits++
+			continue
+		}
 		if !strings.HasPrefix(d.Message, "function ") {
 			t.Fatalf("unexpected message %q", d.Message)
 		}
 		got = append(got, strings.TrimSuffix(strings.TrimPrefix(d.Message, "function "), " is bad"))
+	}
+	if audits != 1 {
+		t.Fatalf("suppressaudit findings = %d, want 1 for the out-of-window directive", audits)
 	}
 	want := []string{"BadUncovered", "BadWrongLine"}
 	if len(got) != len(want) {
@@ -92,6 +102,46 @@ func TestNamespaceRequired(t *testing.T) {
 	_, err := run(t, "badns")
 	if err == nil || !strings.Contains(err.Error(), "must name a statlint/<analyzer> check") {
 		t.Fatalf("Run error = %v, want namespace validation failure", err)
+	}
+}
+
+// TestStaleSuppressionBecomesFinding: a well-formed suppression whose
+// finding no longer fires is reported under the reserved suppressaudit
+// name, while a live suppression both eats its finding and stays
+// silent — the waiver list can only shrink.
+func TestStaleSuppressionBecomesFinding(t *testing.T) {
+	diags, err := run(t, "stale")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the stale-suppression audit finding", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != analysis.SuppressAuditName {
+		t.Fatalf("finding analyzer = %q, want %q", d.Analyzer, analysis.SuppressAuditName)
+	}
+	if !strings.Contains(d.Message, "stale suppression") || !strings.Contains(d.Message, "statlint/marker") {
+		t.Fatalf("audit message = %q, want stale-suppression wording naming the analyzer", d.Message)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, "stale.go") || d.Pos.Line == 0 {
+		t.Fatalf("audit finding position = %v, want the directive's own line in stale.go", d.Pos)
+	}
+}
+
+// TestSuppressAuditCannotBeWaived: the reserved audit name is not a
+// real analyzer, so trying to //lint:allow it is the unknown-name hard
+// error — an audit finding cannot be suppressed away.
+func TestSuppressAuditCannotBeWaived(t *testing.T) {
+	known := map[string]bool{"marker": true}
+	if known[analysis.SuppressAuditName] {
+		t.Fatal("test invariant broken")
+	}
+	// The unknown corpus exercises the error path generically; here we
+	// only pin the design property that SuppressAuditName is reserved
+	// out of the analyzer namespace.
+	if analysis.SuppressAuditName != "suppressaudit" {
+		t.Fatalf("SuppressAuditName = %q, want the documented reserved name", analysis.SuppressAuditName)
 	}
 }
 

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fixes carried by diags to the files
+// on disk, gofmt-ing each touched file afterwards so fixed trees stay
+// format-clean. Fixes are accepted in diagnostic order; a fix whose
+// edits overlap an already-accepted edit is skipped (and returned in
+// skipped) rather than applied half-way — the driver re-runs the suite
+// after applying, so a skipped fix simply resurfaces as a finding.
+//
+// Returns the diagnostics whose fixes were applied, the files written,
+// and the ones skipped for overlap. Any I/O or gofmt failure aborts
+// with an error: a fix that produces unparseable Go is an analyzer bug,
+// not something to write to the tree.
+func ApplyFixes(diags []Diagnostic) (applied []Diagnostic, files []string, skipped []Diagnostic, err error) {
+	type fileEdits struct {
+		edits []Edit
+	}
+	perFile := make(map[string]*fileEdits)
+	overlaps := func(e Edit) bool {
+		fe, ok := perFile[e.File]
+		if !ok {
+			return false
+		}
+		for _, a := range fe.edits {
+			if e.Start < a.End && a.Start < e.End {
+				return true
+			}
+			// Two pure insertions at the same offset have no defined
+			// order; treat them as overlapping too.
+			if e.Start == a.Start && e.End == e.Start && a.End == a.Start {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		clash := false
+		for _, e := range d.Fix.Edits {
+			if overlaps(e) {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			skipped = append(skipped, d)
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			fe := perFile[e.File]
+			if fe == nil {
+				fe = &fileEdits{}
+				perFile[e.File] = fe
+			}
+			fe.edits = append(fe.edits, e)
+		}
+		applied = append(applied, d)
+	}
+	for file, fe := range perFile {
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, nil, nil, fmt.Errorf("analysis: applying fixes: %w", rerr)
+		}
+		// Splice back-to-front so earlier offsets stay valid.
+		sort.Slice(fe.edits, func(i, j int) bool { return fe.edits[i].Start > fe.edits[j].Start })
+		for _, e := range fe.edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return nil, nil, nil, fmt.Errorf("analysis: fix edit [%d,%d) out of range for %s (%d bytes)",
+					e.Start, e.End, file, len(src))
+			}
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		formatted, ferr := format.Source(src)
+		if ferr != nil {
+			return nil, nil, nil, fmt.Errorf("analysis: fixed %s does not gofmt (analyzer fix bug): %w", file, ferr)
+		}
+		info, serr := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if serr == nil {
+			mode = info.Mode().Perm()
+		}
+		if werr := os.WriteFile(file, formatted, mode); werr != nil {
+			return nil, nil, nil, fmt.Errorf("analysis: writing fixed %s: %w", file, werr)
+		}
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	return applied, files, skipped, nil
+}

@@ -69,32 +69,45 @@ func parseSuppressions(pkgs []*Package, known map[string]bool) ([]suppression, e
 
 // applySuppressions removes diagnostics covered by a valid directive: a
 // suppression on line L covers findings of its analyzer on L (trailing
-// comment) and L+1 (comment on its own line above the flagged one).
-func applySuppressions(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) ([]Diagnostic, error) {
+// comment) and L+1 (comment on its own line above the flagged one). It
+// also returns the stale suppressions — directives that covered no
+// diagnostic at all — for the audit pass: a waiver outliving its
+// finding is a silent hole in the gate and must be deleted.
+func applySuppressions(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) (kept []Diagnostic, stale []suppression, err error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 	sups, err := parseSuppressions(pkgs, known)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	covered := make(map[key]bool, 2*len(sups))
-	for _, s := range sups {
-		covered[key{s.file, s.line, s.analyzer}] = true
-		covered[key{s.file, s.line + 1, s.analyzer}] = true
+	covered := make(map[key][]*suppression, 2*len(sups))
+	used := make(map[*suppression]bool, len(sups))
+	for i := range sups {
+		s := &sups[i]
+		covered[key{s.file, s.line, s.analyzer}] = append(covered[key{s.file, s.line, s.analyzer}], s)
+		covered[key{s.file, s.line + 1, s.analyzer}] = append(covered[key{s.file, s.line + 1, s.analyzer}], s)
 	}
-	kept := diags[:0]
+	kept = diags[:0]
 	for _, d := range diags {
-		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if matches := covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; len(matches) > 0 {
+			for _, s := range matches {
+				used[s] = true
+			}
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept, nil
+	for i := range sups {
+		if !used[&sups[i]] {
+			stale = append(stale, sups[i])
+		}
+	}
+	return kept, stale, nil
 }

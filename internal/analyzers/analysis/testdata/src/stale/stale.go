@@ -1,0 +1,17 @@
+// Package stale seeds the suppression-audit failure mode: a
+// well-formed //lint:allow whose finding no longer exists. The audit
+// must surface it as a suppressaudit finding so the waiver can only be
+// deleted, never silently forgotten.
+package stale
+
+// GoodRenamed was once BadRenamed; the fix landed but the waiver
+// below survived it.
+//
+//lint:allow statlint/marker the finding this once covered is gone
+func GoodRenamed() {}
+
+// BadStill is a live finding with a live suppression: the audit must
+// not flag this one.
+//
+//lint:allow statlint/marker intentional test fixture, still firing
+func BadStill() {}

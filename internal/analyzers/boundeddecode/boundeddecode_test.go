@@ -1,0 +1,11 @@
+package boundeddecode
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestBoundedDecode(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,38 @@
+// Package clean is the corrected twin of the flagged corpus: every
+// body read is bounded, so boundeddecode must stay silent.
+package clean
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+type payload struct {
+	Design string `json:"design"`
+}
+
+// CappedDecode stacks MaxBytesReader under the decoder, the shape
+// wire.decodeJSON uses.
+func CappedDecode(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&p)
+}
+
+// CappedSlurp buffers at most a megabyte.
+func CappedSlurp(r *http.Request) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r.Body, 1<<20))
+}
+
+// CappedDrain drains a client response under a cap.
+func CappedDrain(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	return err
+}
+
+// NotAnHTTPBody: Body fields of other types are out of scope.
+type envelope struct{ Body io.Reader }
+
+func DecodeEnvelope(e envelope) *json.Decoder {
+	return json.NewDecoder(e.Body)
+}

@@ -1,0 +1,31 @@
+// Package flagged seeds the unbounded-ingress violations boundeddecode
+// exists to catch: HTTP bodies consumed without a size cap.
+package flagged
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+type payload struct {
+	Design string `json:"design"`
+}
+
+// RawDecode decodes straight off the wire with no byte cap.
+func RawDecode(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	_ = json.NewDecoder(r.Body).Decode(&p) // want `json\.NewDecoder reads an HTTP body unbounded`
+}
+
+// SlurpAll buffers the whole request body.
+func SlurpAll(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body) // want `io\.ReadAll reads an HTTP body unbounded`
+}
+
+// DrainResponse drains a client response with no cap — the server side
+// of the connection chooses how much we read.
+func DrainResponse(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, resp.Body) // want `io\.Copy reads an HTTP body unbounded`
+	return err
+}

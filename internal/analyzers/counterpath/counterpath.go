@@ -1,0 +1,103 @@
+// Package counterpath implements the statlint check for the stats
+// accounting discipline: the engine-wide rollup and its wire snapshot
+// have exactly one sanctioned write path each, and everything else is
+// a lost-update bug waiting for load.
+//
+//   - session.Counters fields are atomic mirrors written with Add as
+//     operations commit. Store/Swap/CompareAndSwap (or overwriting the
+//     whole field) silently discard concurrent adds from other
+//     sessions — the rollup is shared by every session the engine
+//     opens — so only Add and Load are allowed.
+//   - statsize.EngineStats is a point-in-time snapshot with a stable
+//     JSON wire contract, built only inside Engine.Stats. Mutating a
+//     snapshot's fields anywhere else fabricates accounting the engine
+//     never performed; package statsize itself is exempt because
+//     Stats() is where the snapshot is legitimately assembled.
+package counterpath
+
+import (
+	"go/ast"
+
+	"statsize/internal/analyzers/analysis"
+	"statsize/internal/analyzers/typeutil"
+)
+
+// Analyzer is the counterpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterpath",
+	Doc:  "stats counters mutate only through atomic Add; EngineStats snapshots are read-only outside Engine.Stats",
+	Run:  run,
+}
+
+// forbiddenAtomic are the sync/atomic methods that clobber concurrent
+// Adds on a shared rollup field.
+var forbiddenAtomic = map[string]bool{
+	"Store":          true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+	"And":            true,
+	"Or":             true,
+}
+
+func run(pass *analysis.Pass) error {
+	inRoot := pass.Pkg.Path() == typeutil.RootPath
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range t.Lhs {
+					checkWrite(pass, lhs, inRoot)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, t.X, inRoot)
+			case *ast.CallExpr:
+				checkAtomicCall(pass, t)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite flags a write target that is a field of the shared rollup
+// or of a wire snapshot.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, inRoot bool) {
+	sel, ok := typeutil.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch {
+	case typeutil.Is(tv.Type, typeutil.SessionPath, "Counters"):
+		pass.Reportf(lhs.Pos(), "field %s of the shared session.Counters rollup is overwritten: concurrent Adds from other sessions are lost; mirror through the atomic Add path (session.count)", sel.Sel.Name)
+	case !inRoot && typeutil.Is(tv.Type, typeutil.RootPath, "EngineStats"):
+		pass.Reportf(lhs.Pos(), "field %s of a statsize.EngineStats snapshot is mutated: snapshots are read-only wire data built only by Engine.Stats", sel.Sel.Name)
+	}
+}
+
+// checkAtomicCall flags Store/Swap/CompareAndSwap on a rollup field:
+// only Add (and Load) preserve concurrent mirroring.
+func checkAtomicCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fun, ok := typeutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !forbiddenAtomic[fun.Sel.Name] {
+		return
+	}
+	fn := typeutil.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	field, ok := typeutil.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.Info.Types[field.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if typeutil.Is(tv.Type, typeutil.SessionPath, "Counters") {
+		pass.Reportf(call.Pos(), "%s on field %s of the shared session.Counters rollup: concurrent Adds from other sessions are lost; counters only move by Add", fun.Sel.Name, field.Sel.Name)
+	}
+}

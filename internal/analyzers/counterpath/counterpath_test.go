@@ -1,0 +1,11 @@
+package counterpath
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestCounterPath(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,33 @@
+// Package clean is the corrected twin of the flagged corpus: rollup
+// fields only move by Add and snapshots are only read, so counterpath
+// must stay silent.
+package clean
+
+import (
+	"statsize"
+	"statsize/internal/session"
+)
+
+// SanctionedAdd is the one legal mirror operation.
+func SanctionedAdd(c *session.Counters) {
+	c.Resizes.Add(1)
+}
+
+// ReadCounter reads without touching any session lock.
+func ReadCounter(c *session.Counters) int64 {
+	return c.Opened.Load() - c.Closed.Load()
+}
+
+// ReadSnapshot consumes the wire snapshot read-only.
+func ReadSnapshot(st statsize.EngineStats) int64 {
+	return st.SessionsOpened + st.ResizesCommitted
+}
+
+// LocalAccumulator: writes to fields of unrelated types are out of
+// scope.
+type localStats struct{ Opened int64 }
+
+func Accumulate(l *localStats) {
+	l.Opened++
+	l.Opened = 5
+}

@@ -1,0 +1,33 @@
+// Package flagged seeds the accounting violations counterpath exists
+// to catch: clobbering writes to the shared rollup and mutation of
+// wire snapshots.
+package flagged
+
+import (
+	"sync/atomic"
+
+	"statsize"
+	"statsize/internal/session"
+)
+
+// StoreCounter clobbers whatever other sessions added concurrently.
+func StoreCounter(c *session.Counters) {
+	c.Opened.Store(0) // want `Store on field Opened of the shared session\.Counters rollup`
+}
+
+// SwapCounter is the same lost update with a return value.
+func SwapCounter(c *session.Counters) int64 {
+	return c.WhatIfs.Swap(0) // want `Swap on field WhatIfs of the shared session\.Counters rollup`
+}
+
+// OverwriteCounter replaces the whole atomic, dropping its history.
+func OverwriteCounter(c *session.Counters) {
+	c.Closed = atomic.Int64{} // want `field Closed of the shared session\.Counters rollup is overwritten`
+}
+
+// MutateSnapshot fabricates accounting the engine never performed.
+func MutateSnapshot(st *statsize.EngineStats) {
+	st.SessionsLive++    // want `field SessionsLive of a statsize\.EngineStats snapshot is mutated`
+	st.WhatIfsServed = 7 // want `field WhatIfsServed of a statsize\.EngineStats snapshot is mutated`
+	st.Rollbacks += 1    // want `field Rollbacks of a statsize\.EngineStats snapshot is mutated`
+}

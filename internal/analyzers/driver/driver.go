@@ -1,0 +1,206 @@
+// Package driver is the statlint engine behind cmd/statlint: it loads
+// packages, runs the analyzer suite, and turns the surviving
+// diagnostics into an exit code, optionally applying suggested fixes
+// and emitting a machine-readable findings report for CI.
+//
+// The exit-code contract is the gate's API:
+//
+//	0  clean tree (after fixes, when -fix is on)
+//	1  findings (including stale-suppression audit findings) or go vet
+//	   failures
+//	2  operational failure: load/type-check errors, invalid
+//	   suppressions, unwritable reports — the tree's state could not be
+//	   certified either way
+//
+// Fix mode is apply-and-verify: after writing the suggested edits it
+// reloads everything from disk with a fresh loader and re-runs the
+// whole suite, so the exit code always describes the tree as it now
+// is. A fix that fails to silence its finding therefore still fails
+// the run — there is no way to "fix" a tree into a green exit without
+// the analyzers agreeing.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"statsize/internal/analyzers"
+	"statsize/internal/analyzers/analysis"
+)
+
+// Options configures one driver run.
+type Options struct {
+	Dir      string   // loader working directory ("" = process cwd)
+	Patterns []string // go list patterns; default ./...
+	LoadDirs []string // load these directories as synthetic packages instead of Patterns (corpus/fix testing)
+	Fix      bool     // apply suggested fixes, then re-run to verify
+	JSONPath string   // write a Report here ("" = off)
+	Vet      bool     // also run `go vet` over Patterns (ignored with LoadDirs)
+	Stdout   io.Writer
+	Stderr   io.Writer
+}
+
+// Report is the machine-readable run summary, a stable wire contract
+// for CI (version bumps on any breaking change).
+type Report struct {
+	Version  int       `json:"version"`
+	Tool     string    `json:"tool"`
+	Findings []Finding `json:"findings"`
+	Fixed    []Finding `json:"fixed,omitempty"`
+}
+
+// Finding is one diagnostic with its position resolved relative to the
+// module root when the file lives under it.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable,omitempty"`
+}
+
+// Run executes the suite under opts and returns the process exit code.
+func Run(opts Options) int {
+	if opts.Stdout == nil {
+		opts.Stdout = os.Stdout
+	}
+	if opts.Stderr == nil {
+		opts.Stderr = os.Stderr
+	}
+	suite := analyzers.All()
+
+	diags, err := loadAndRun(opts, suite)
+	if err != nil {
+		fmt.Fprintln(opts.Stderr, "statlint:", err)
+		return 2
+	}
+
+	var fixed []analysis.Diagnostic
+	if opts.Fix {
+		applied, files, _, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(opts.Stderr, "statlint:", err)
+			return 2
+		}
+		if len(files) > 0 {
+			fmt.Fprintf(opts.Stdout, "statlint -fix: applied %d fix(es) across %d file(s)\n", len(applied), len(files))
+			// Verify against the tree as it now is: fresh loader, full
+			// re-run. Fixes that missed (or overlapped and were skipped)
+			// resurface as findings below.
+			diags, err = loadAndRun(opts, suite)
+			if err != nil {
+				fmt.Fprintln(opts.Stderr, "statlint:", err)
+				return 2
+			}
+			fixed = applied
+		}
+	}
+
+	for _, d := range diags {
+		fmt.Fprintln(opts.Stdout, d)
+	}
+	if opts.JSONPath != "" {
+		if err := writeReport(opts, diags, fixed); err != nil {
+			fmt.Fprintln(opts.Stderr, "statlint:", err)
+			return 2
+		}
+	}
+
+	vetFailed := false
+	if opts.Vet && len(opts.LoadDirs) == 0 {
+		patterns := opts.Patterns
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = opts.Dir
+		cmd.Stdout = opts.Stdout
+		cmd.Stderr = opts.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+
+	if len(diags) > 0 || vetFailed {
+		return 1
+	}
+	return 0
+}
+
+// loadAndRun loads the requested packages with a fresh loader and runs
+// the suite over them.
+func loadAndRun(opts Options, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	loader := analysis.NewLoader(opts.Dir)
+	var pkgs []*analysis.Package
+	if len(opts.LoadDirs) > 0 {
+		for i, dir := range opts.LoadDirs {
+			pkg, err := loader.LoadDir(dir, fmt.Sprintf("statlint/loaded/%d/%s", i, filepath.Base(dir)))
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	} else {
+		patterns := opts.Patterns
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		var err error
+		pkgs, err = loader.Load(patterns...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return analysis.Run(pkgs, suite)
+}
+
+// writeReport renders the JSON findings file.
+func writeReport(opts Options, diags, fixed []analysis.Diagnostic) error {
+	root, err := analysis.ModuleRoot(opts.Dir)
+	if err != nil {
+		root = ""
+	}
+	rep := Report{
+		Version:  1,
+		Tool:     "statlint",
+		Findings: toFindings(diags, root),
+		Fixed:    toFindings(fixed, root),
+	}
+	if rep.Findings == nil {
+		rep.Findings = []Finding{} // an empty run still emits a findings array
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644)
+}
+
+// toFindings converts diagnostics, relativizing file paths that live
+// under the module root.
+func toFindings(diags []analysis.Diagnostic, root string) []Finding {
+	var out []Finding
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, Finding{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+			Fixable:  d.Fix != nil,
+		})
+	}
+	return out
+}

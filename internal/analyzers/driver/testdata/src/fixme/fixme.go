@@ -1,0 +1,25 @@
+// Package fixme seeds fixable findings for the -fix driver tests: a
+// leaked lease and an unbounded HTTP body read, each carrying a
+// suggested fix that statlint -fix must apply to leave a clean tree.
+package fixme
+
+import (
+	"io"
+	"net/http"
+
+	"statsize/internal/server"
+)
+
+// LeakyCount acquires a lease and never releases it on any path.
+func LeakyCount(m *server.Manager, id string) (int, error) {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return 0, err
+	}
+	return lease.NumGates(), nil
+}
+
+// SlurpBody buffers a request body with no cap.
+func SlurpBody(r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body)
+}

@@ -1,0 +1,7 @@
+// Package stale carries a suppression that covers no finding: the
+// waiver audit must turn it into a statlint/suppressaudit finding and
+// fail the run.
+package stale
+
+//lint:allow statlint/ctxflow the loop this once excused was rewritten
+func Quiet() int { return 1 }

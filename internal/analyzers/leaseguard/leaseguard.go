@@ -1,0 +1,730 @@
+// Package leaseguard implements the statlint check for the service
+// tier's handle discipline: every lease-shaped handle obtained from a
+// refcounted pool — *server.Lease from Manager.Acquire/OpenOrAttach,
+// *session.Tx from Session.Acquire — must be released exactly once on
+// every path out of the acquiring function, or its ownership must be
+// handed to someone else who will. A leaked lease pins a pooled
+// session forever (the janitor only reaps refs == 0); a double release
+// underflows the refcount and lets the janitor evict a session that is
+// still in use.
+//
+// Findings:
+//
+//   - leaked lease: some return (or the fall-off end of the function)
+//     is reachable with the lease unreleased, not deferred, and not
+//     transferred away. When the function contains no Release call for
+//     the variable at all, the finding carries a suggested fix that
+//     inserts `defer x.Release()` right after the acquisition (after
+//     its error guard, so a nil handle is never deferred).
+//   - double release: a direct Release on a path where the lease was
+//     already released, or a direct Release shadowed by an earlier
+//     `defer x.Release()`.
+//   - discarded lease: the acquiring call's lease result is dropped
+//     (expression statement or assigned to the blank identifier) — the
+//     refcount is bumped with no way to ever drop it.
+//
+// Ownership transfers that end the acquiring function's obligation:
+// returning the lease itself (alone or inside a composite literal),
+// storing it into a field, map or package-level variable, capturing it
+// in a function literal, or passing it to a goroutine. Passing the
+// lease as a plain call argument is NOT a transfer: synchronous
+// callees borrow, the caller still owns the handle (this is what makes
+// deleting the `defer lease.Release()` in server.withLease a finding
+// even though the handler is called with the lease).
+//
+// Error guards are understood: inside an `if` whose condition mentions
+// the error paired with the acquisition, returns are exempt — by the
+// acquisition contract the handle is nil on the error path. Paths that
+// panic or os.Exit/log.Fatal are not checked.
+package leaseguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"statsize/internal/analyzers/analysis"
+	"statsize/internal/analyzers/typeutil"
+)
+
+// Analyzer is the leaseguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "leaseguard",
+	Doc:  "pool leases (server.Lease, session.Tx) must be released exactly once on every path or ownership-transferred",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isLease reports whether t is one of the refcounted handle types the
+// invariant covers.
+func isLease(t types.Type) bool {
+	return typeutil.IsPtrTo(t, typeutil.ServerPath, "Lease") ||
+		typeutil.IsPtrTo(t, typeutil.SessionPath, "Tx")
+}
+
+// leaseName names the handle type for diagnostics ("*server.Lease").
+func leaseName(t types.Type) string {
+	if typeutil.IsPtrTo(t, typeutil.ServerPath, "Lease") {
+		return "*server.Lease"
+	}
+	return "*session.Tx"
+}
+
+// tracked is one acquisition site and its whole-function bookkeeping.
+type tracked struct {
+	v           *types.Var // the lease variable
+	errVar      *types.Var // paired error result, nil if discarded
+	typ         types.Type
+	pos         token.Pos // acquisition position (report anchor)
+	insertAfter ast.Stmt  // where a defer fix would be spliced in
+	leaks       []token.Position
+	doubles     []token.Pos
+}
+
+// varState is the per-path state of one tracked lease.
+type varState struct {
+	released    bool // Release executed on this path
+	deferred    bool // a defer guarantees release at function exit
+	transferred bool // ownership handed away
+}
+
+type pathState map[*types.Var]varState
+
+func (st pathState) clone() pathState {
+	out := make(pathState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// merge joins two path states at a control-flow join: a lease is only
+// safe after the join if it is safe on both incoming paths. Vars known
+// on one side only (acquired inside a branch that may not have run)
+// keep their one-sided state.
+func merge(a, b pathState) pathState {
+	out := make(pathState, len(a)+len(b))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = varState{
+				released:    va.released && vb.released,
+				deferred:    va.deferred && vb.deferred,
+				transferred: va.transferred && vb.transferred,
+			}
+		} else {
+			out[k] = va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	body    *ast.BlockStmt
+	tracked []*tracked
+	byVar   map[*types.Var]*tracked
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, body: body, byVar: make(map[*types.Var]*tracked)}
+	st, terminated := c.walkStmts(body.List, make(pathState), nil)
+	if !terminated {
+		c.checkExit(st, nil, pass.Fset.Position(body.Rbrace))
+	}
+	c.report()
+}
+
+// walkStmts runs the statement list under state st with the err-guard
+// exemptions in exempt, returning the post-state and whether every
+// path through the list terminates (return / panic / exit).
+func (c *checker) walkStmts(stmts []ast.Stmt, st pathState, exempt map[*types.Var]bool) (pathState, bool) {
+	for i, s := range stmts {
+		var terminated bool
+		st, terminated = c.walkStmt(s, st, exempt, stmts, i)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st pathState, exempt map[*types.Var]bool, siblings []ast.Stmt, idx int) (pathState, bool) {
+	// Function literals anywhere in the statement transfer every lease
+	// they capture: the closure may outlive this frame, and deferred
+	// release closures are additionally credited below.
+	c.markClosureCaptures(s, st)
+	switch t := s.(type) {
+	case *ast.AssignStmt:
+		st = c.handleAssign(t, st, siblings, idx)
+		return st, false
+	case *ast.ExprStmt:
+		if call, ok := typeutil.Unparen(t.X).(*ast.CallExpr); ok {
+			st = c.handleCallStmt(call, st)
+			if isTerminalCall(c.pass.Info, call) {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.DeferStmt:
+		return c.handleDefer(t, st), false
+	case *ast.GoStmt:
+		// Already handled by markClosureCaptures for closures; plain
+		// `go f(lease)` also hands the handle to another goroutine.
+		for v := range st {
+			if usesVar(c.pass.Info, t.Call, v) {
+				vs := st[v]
+				vs.transferred = true
+				st[v] = vs
+			}
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		st = c.handleReturn(t, st, exempt)
+		return st, true
+	case *ast.IfStmt:
+		return c.handleIf(t, st, exempt)
+	case *ast.BlockStmt:
+		return c.walkStmts(t.List, st, exempt)
+	case *ast.LabeledStmt:
+		return c.walkStmt(t.Stmt, st, exempt, siblings, idx)
+	case *ast.ForStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st, exempt, nil, 0)
+		}
+		after, _ := c.walkStmts(t.Body.List, st.clone(), exempt)
+		return merge(st, after), false
+	case *ast.RangeStmt:
+		after, _ := c.walkStmts(t.Body.List, st.clone(), exempt)
+		return merge(st, after), false
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st, exempt, nil, 0)
+		}
+		return c.handleClauses(t.Body, st, exempt, hasDefaultClause(t.Body))
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st, exempt, nil, 0)
+		}
+		return c.handleClauses(t.Body, st, exempt, hasDefaultClause(t.Body))
+	case *ast.SelectStmt:
+		return c.handleClauses(t.Body, st, exempt, true)
+	case *ast.BranchStmt:
+		// break/continue/goto: stop analyzing this list. The loop
+		// walkers already merge body state conservatively.
+		return st, true
+	default:
+		return st, false
+	}
+}
+
+// handleAssign recognizes acquisitions and ownership-transferring
+// stores.
+func (c *checker) handleAssign(a *ast.AssignStmt, st pathState, siblings []ast.Stmt, idx int) pathState {
+	// Acquisition: single call on the RHS with a lease in its results.
+	if len(a.Rhs) == 1 {
+		if call, ok := typeutil.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			st = c.handleAcquisition(a, call, st, siblings, idx)
+		}
+	}
+	// Transfer: a tracked lease stored anywhere that outlives the
+	// frame — a field, a map/slice element, or a package-level var.
+	for i, rhs := range a.Rhs {
+		for v := range st {
+			if !transfersExpr(c.pass.Info, rhs, v) {
+				continue
+			}
+			if i < len(a.Lhs) && c.escapingTarget(a.Lhs[i]) {
+				vs := st[v]
+				vs.transferred = true
+				st[v] = vs
+			}
+		}
+	}
+	return st
+}
+
+// handleAcquisition tracks the lease result of call when a assigns it.
+func (c *checker) handleAcquisition(a *ast.AssignStmt, call *ast.CallExpr, st pathState, siblings []ast.Stmt, idx int) pathState {
+	leaseIdx, errIdx, ltyp := leaseResult(c.pass.Info, call)
+	if leaseIdx < 0 {
+		return st
+	}
+	if len(a.Lhs) != resultCount(c.pass.Info, call) {
+		return st
+	}
+	lid, ok := typeutil.Unparen(a.Lhs[leaseIdx]).(*ast.Ident)
+	if !ok {
+		return st
+	}
+	if lid.Name == "_" {
+		c.pass.Reportf(lid.Pos(), "%s result of %s is discarded: the pool refcount is bumped with no way to release it", leaseName(ltyp), callName(call))
+		return st
+	}
+	v := defOrUse(c.pass.Info, lid)
+	if v == nil {
+		return st
+	}
+	var errVar *types.Var
+	if errIdx >= 0 && errIdx < len(a.Lhs) {
+		if eid, ok := typeutil.Unparen(a.Lhs[errIdx]).(*ast.Ident); ok && eid.Name != "_" {
+			errVar = defOrUse(c.pass.Info, eid)
+		}
+	}
+	tr := &tracked{v: v, errVar: errVar, typ: ltyp, pos: lid.Pos(), insertAfter: a}
+	// If the very next statement is the error guard, a defer fix must
+	// go after it (deferring Release on a nil handle would panic).
+	if idx+1 < len(siblings) {
+		if ifs, ok := siblings[idx+1].(*ast.IfStmt); ok && errVar != nil && usesVar(c.pass.Info, ifs.Cond, errVar) {
+			tr.insertAfter = ifs
+		}
+	}
+	c.tracked = append(c.tracked, tr)
+	c.byVar[v] = tr
+	st[v] = varState{}
+	return st
+}
+
+// handleCallStmt handles a call in statement position: a direct
+// Release, or a lease-returning call whose results are dropped.
+func (c *checker) handleCallStmt(call *ast.CallExpr, st pathState) pathState {
+	if v := releaseReceiver(c.pass.Info, call); v != nil {
+		if vs, ok := st[v]; ok {
+			if vs.released || vs.deferred {
+				if tr := c.byVar[v]; tr != nil {
+					tr.doubles = append(tr.doubles, call.Pos())
+				}
+			}
+			vs.released = true
+			st[v] = vs
+		}
+		return st
+	}
+	if leaseIdx, _, ltyp := leaseResult(c.pass.Info, call); leaseIdx >= 0 {
+		c.pass.Reportf(call.Pos(), "%s result of %s is discarded: the pool refcount is bumped with no way to release it", leaseName(ltyp), callName(call))
+	}
+	return st
+}
+
+// handleDefer credits `defer x.Release()` and deferred closures that
+// release x.
+func (c *checker) handleDefer(d *ast.DeferStmt, st pathState) pathState {
+	if v := releaseReceiver(c.pass.Info, d.Call); v != nil {
+		if vs, ok := st[v]; ok {
+			if vs.released || vs.deferred {
+				if tr := c.byVar[v]; tr != nil {
+					tr.doubles = append(tr.doubles, d.Pos())
+				}
+			}
+			vs.deferred = true
+			st[v] = vs
+		}
+		return st
+	}
+	if lit, ok := typeutil.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		for v := range st {
+			if closureReleases(c.pass.Info, lit, v) {
+				vs := st[v]
+				vs.deferred = true
+				st[v] = vs
+			}
+		}
+	}
+	return st
+}
+
+// handleReturn marks return-transfers, then audits every still-owned
+// lease at this exit.
+func (c *checker) handleReturn(r *ast.ReturnStmt, st pathState, exempt map[*types.Var]bool) pathState {
+	for _, res := range r.Results {
+		for v := range st {
+			if transfersExpr(c.pass.Info, res, v) {
+				vs := st[v]
+				vs.transferred = true
+				st[v] = vs
+			}
+		}
+	}
+	c.checkExit(st, exempt, c.pass.Fset.Position(r.Pos()))
+	return st
+}
+
+// handleIf walks both arms with error-guard exemptions extended by the
+// condition, merging by which arms terminate.
+func (c *checker) handleIf(ifs *ast.IfStmt, st pathState, exempt map[*types.Var]bool) (pathState, bool) {
+	if ifs.Init != nil {
+		st, _ = c.walkStmt(ifs.Init, st, exempt, nil, 0)
+	}
+	branchExempt := exempt
+	var guarded []*types.Var
+	for v, tr := range c.byVar {
+		if _, live := st[v]; live && tr.errVar != nil && usesVar(c.pass.Info, ifs.Cond, tr.errVar) {
+			guarded = append(guarded, v)
+		}
+	}
+	if len(guarded) > 0 {
+		ext := make(map[*types.Var]bool, len(exempt)+len(guarded))
+		for k := range exempt {
+			ext[k] = true
+		}
+		for _, v := range guarded {
+			ext[v] = true
+		}
+		branchExempt = ext
+	}
+	thenSt, thenTerm := c.walkStmts(ifs.Body.List, st.clone(), branchExempt)
+	elseSt, elseTerm := st.clone(), false
+	switch e := ifs.Else.(type) {
+	case *ast.BlockStmt:
+		elseSt, elseTerm = c.walkStmts(e.List, elseSt, branchExempt)
+	case *ast.IfStmt:
+		elseSt, elseTerm = c.handleIf(e, elseSt, branchExempt)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return st, true
+	case thenTerm:
+		return elseSt, false
+	case elseTerm:
+		return thenSt, false
+	default:
+		return merge(thenSt, elseSt), false
+	}
+}
+
+// handleClauses walks every case body of a switch/select on its own
+// state copy. When hasDefault is false the pre-state is merged in too:
+// a switch with no default may match nothing and fall through.
+func (c *checker) handleClauses(body *ast.BlockStmt, st pathState, exempt map[*types.Var]bool, hasDefault bool) (pathState, bool) {
+	var merged pathState
+	allTerm := true
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch t := cl.(type) {
+		case *ast.CaseClause:
+			list = t.Body
+		case *ast.CommClause:
+			if t.Comm != nil {
+				var term bool
+				clSt := st.clone()
+				clSt, term = c.walkStmt(t.Comm, clSt, exempt, nil, 0)
+				if !term {
+					clSt, term = c.walkStmts(t.Body, clSt, exempt)
+				}
+				if !term {
+					allTerm = false
+					if merged == nil {
+						merged = clSt
+					} else {
+						merged = merge(merged, clSt)
+					}
+				}
+				continue
+			}
+			list = t.Body
+		}
+		clSt, term := c.walkStmts(list, st.clone(), exempt)
+		if !term {
+			allTerm = false
+			if merged == nil {
+				merged = clSt
+			} else {
+				merged = merge(merged, clSt)
+			}
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if merged == nil {
+			merged = st
+		} else {
+			merged = merge(merged, st)
+		}
+	}
+	if allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if merged == nil {
+		merged = st
+	}
+	return merged, false
+}
+
+// hasDefaultClause reports whether a switch body has a default case.
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExit records a leak for every lease still owned at an exit.
+func (c *checker) checkExit(st pathState, exempt map[*types.Var]bool, pos token.Position) {
+	for v, vs := range st {
+		if vs.released || vs.deferred || vs.transferred || (exempt != nil && exempt[v]) {
+			continue
+		}
+		if tr := c.byVar[v]; tr != nil {
+			tr.leaks = append(tr.leaks, pos)
+		}
+	}
+}
+
+// markClosureCaptures transfers every tracked lease captured by a
+// function literal under s (the closure may escape this frame). The
+// deferred-release closure is additionally credited in handleDefer.
+func (c *checker) markClosureCaptures(s ast.Stmt, st pathState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for v := range st {
+			if usesVar(c.pass.Info, lit.Body, v) {
+				vs := st[v]
+				vs.transferred = true
+				st[v] = vs
+			}
+		}
+		return false
+	})
+}
+
+// report emits the per-variable findings collected during the walk.
+func (c *checker) report() {
+	for _, tr := range c.tracked {
+		sort.Slice(tr.doubles, func(i, j int) bool { return tr.doubles[i] < tr.doubles[j] })
+		for _, p := range tr.doubles {
+			c.pass.Reportf(p, "%s %q released twice: the pool refcount underflows and the janitor may evict a session still in use", leaseName(tr.typ), tr.v.Name())
+		}
+		if len(tr.leaks) == 0 {
+			continue
+		}
+		var fix *analysis.SuggestedFix
+		if !funcReleases(c.pass.Info, c.body, tr.v) {
+			fix = &analysis.SuggestedFix{
+				Message: "defer " + tr.v.Name() + ".Release() after the acquisition",
+				Edits: []analysis.TextEdit{{
+					Pos:     tr.insertAfter.End(),
+					NewText: "\ndefer " + tr.v.Name() + ".Release()",
+				}},
+			}
+		}
+		c.pass.ReportfFix(tr.pos, fix, "%s %q can leak: unreleased at %s; release it exactly once on every path (defer %s.Release()) or transfer ownership",
+			leaseName(tr.typ), tr.v.Name(), c.leakList(tr.leaks), tr.v.Name())
+	}
+}
+
+// leakList renders the leaking exit lines compactly ("line 12, line 20").
+func (c *checker) leakList(leaks []token.Position) string {
+	out := ""
+	for i, p := range leaks {
+		if i > 0 {
+			out += ", "
+		}
+		out += "line " + strconv.Itoa(p.Line)
+	}
+	return out
+}
+
+// callName names a call for diagnostics by its callee identifier.
+func callName(call *ast.CallExpr) string {
+	switch f := typeutil.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "the call"
+}
+
+// leaseResult locates a lease type in the call's result tuple,
+// returning its index, the index of the paired error (-1 if none) and
+// the lease type. leaseIdx is -1 when the call yields no lease.
+func leaseResult(info *types.Info, call *ast.CallExpr) (leaseIdx, errIdx int, ltyp types.Type) {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1, -1, nil
+	}
+	leaseIdx, errIdx = -1, -1
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			at := t.At(i).Type()
+			if isLease(at) && leaseIdx < 0 {
+				leaseIdx, ltyp = i, at
+			}
+			if types.Identical(at, types.Universe.Lookup("error").Type()) {
+				errIdx = i
+			}
+		}
+	default:
+		if isLease(t) {
+			leaseIdx, ltyp = 0, t
+		}
+	}
+	return leaseIdx, errIdx, ltyp
+}
+
+func resultCount(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	if t, ok := tv.Type.(*types.Tuple); ok {
+		return t.Len()
+	}
+	return 1
+}
+
+// releaseReceiver returns the tracked-able variable x when call is
+// x.Release() on a lease type; nil otherwise.
+func releaseReceiver(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := typeutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, ok := typeutil.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !isLease(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// closureReleases reports whether lit's body contains v.Release().
+func closureReleases(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && releaseReceiver(info, call) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcReleases reports whether body mentions v.Release anywhere —
+// used to decide whether a defer-insertion fix is safe (it is not when
+// some path already releases: inserting a defer there would double
+// release).
+func funcReleases(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+			if id, ok := typeutil.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// transfersExpr reports whether e, as a value being returned or
+// stored, carries ownership of v: the identifier itself, possibly
+// wrapped in parens, unary operators, or composite literals. A call
+// mentioning v does NOT transfer (callees borrow).
+func transfersExpr(info *types.Info, e ast.Expr, v *types.Var) bool {
+	switch t := typeutil.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[t] == v
+	case *ast.UnaryExpr:
+		return transfersExpr(info, t.X, v)
+	case *ast.CompositeLit:
+		for _, elt := range t.Elts {
+			if transfersExpr(info, elt, v) {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return transfersExpr(info, t.Value, v)
+	}
+	return false
+}
+
+// escapingTarget reports whether an assignment target outlives the
+// frame: a field or element of anything, or a package-level variable.
+func (c *checker) escapingTarget(lhs ast.Expr) bool {
+	switch t := typeutil.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := c.pass.Info.Uses[t].(*types.Var); ok {
+			return v.Parent() == c.pass.Pkg.Scope()
+		}
+	}
+	return false
+}
+
+// usesVar reports whether any identifier under n refers to v.
+func usesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// defOrUse resolves an identifier to its variable through either map
+// (a := defines, = uses).
+func defOrUse(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// isTerminalCall reports whether a call never returns: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := typeutil.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := typeutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package leaseguard
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestLeaseguard(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

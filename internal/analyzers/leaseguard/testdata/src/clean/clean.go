@@ -1,0 +1,103 @@
+// Package clean is the corrected twin of the flagged corpus: every
+// lease is released exactly once on every path or its ownership is
+// transferred, so leaseguard must stay silent.
+package clean
+
+import (
+	"context"
+
+	"statsize/internal/server"
+	"statsize/internal/session"
+)
+
+type holder struct{ l *server.Lease }
+
+func use(*server.Lease) {}
+
+// DeferAfterGuard is the canonical shape: error guard, then defer.
+func DeferAfterGuard(m *server.Manager, id string) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	use(lease)
+	return nil
+}
+
+// DirectRelease releases explicitly before each late exit.
+func DirectRelease(m *server.Manager, id string, more bool) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	if more {
+		lease.Release()
+		return nil
+	}
+	lease.Release()
+	return nil
+}
+
+// ReturnTransfer hands ownership to the caller.
+func ReturnTransfer(m *server.Manager, id string) (*server.Lease, error) {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	return lease, nil
+}
+
+// CompositeTransfer hands ownership inside a returned struct.
+func CompositeTransfer(m *server.Manager, id string) (*holder, error) {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{l: lease}, nil
+}
+
+// FieldTransfer parks the lease in a structure the caller owns.
+func FieldTransfer(m *server.Manager, id string, h *holder) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	h.l = lease
+	return nil
+}
+
+// ClosureTransfer hands the lease to a goroutine that releases it.
+func ClosureTransfer(m *server.Manager, id string) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	go func() {
+		lease.Release()
+	}()
+	return nil
+}
+
+// OpenReleaseEarly mirrors server.handleOpenSession: the three-result
+// acquisition released directly once the response is extracted.
+func OpenReleaseEarly(ctx context.Context, m *server.Manager, req *server.OpenSessionRequest) (string, error) {
+	lease, resp, err := m.OpenOrAttach(ctx, req)
+	if err != nil {
+		return "", err
+	}
+	lease.Release()
+	return resp.SessionID, nil
+}
+
+// DeferredClosureRelease releases through a deferred closure.
+func DeferredClosureRelease(s *session.Session) error {
+	tx, err := s.Acquire()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		tx.Release()
+	}()
+	return tx.EnsureRequired(context.Background())
+}

@@ -1,0 +1,88 @@
+// Package flagged seeds the lease-discipline violations leaseguard
+// exists to catch: pool handles that leak on some path, are released
+// twice, or are discarded outright.
+package flagged
+
+import (
+	"errors"
+
+	"statsize/internal/server"
+	"statsize/internal/session"
+)
+
+func use(*server.Lease) {}
+
+// LeakOnEarlyReturn releases on the happy path but leaks when the
+// validation fails: the early return escapes with the refcount held.
+func LeakOnEarlyReturn(m *server.Manager, id string, bad bool) error {
+	lease, err := m.Acquire(id) // want `\*server\.Lease "lease" can leak`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("validation failed")
+	}
+	lease.Release()
+	return nil
+}
+
+// LeakOnFallOff never releases at all; passing the lease to a
+// synchronous callee is a borrow, not a transfer.
+func LeakOnFallOff(m *server.Manager, id string) {
+	lease, err := m.Acquire(id) // want `\*server\.Lease "lease" can leak`
+	if err != nil {
+		return
+	}
+	use(lease)
+}
+
+// Discarded drops the lease result outright: the refcount is bumped
+// with no handle to ever drop it.
+func Discarded(m *server.Manager, id string) {
+	m.Acquire(id) // want `result of Acquire is discarded`
+}
+
+// Blank assigns the lease to the blank identifier — same hole, with an
+// error check for cover.
+func Blank(m *server.Manager, id string) error {
+	_, err := m.Acquire(id) // want `result of Acquire is discarded`
+	return err
+}
+
+// DoubleRelease drops the refcount twice; the janitor may evict a
+// session another client still holds.
+func DoubleRelease(m *server.Manager, id string) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	lease.Release()
+	lease.Release() // want `released twice`
+	return nil
+}
+
+// DeferThenDirect releases directly under a defer that will release
+// again on the way out.
+func DeferThenDirect(m *server.Manager, id string) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	lease.Release() // want `released twice`
+	return nil
+}
+
+// TxLeak is the same early-return leak on the session transaction
+// handle.
+func TxLeak(s *session.Session, bad bool) error {
+	tx, err := s.Acquire() // want `\*session\.Tx "tx" can leak`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("rejected")
+	}
+	tx.Release()
+	return nil
+}

@@ -28,11 +28,31 @@
 //     order statements, a method that releases early and then calls a
 //     locking sibling is a false positive — restructure it through the
 //     Tx working view, or suppress with a reason.
+//
+// Beyond the same-struct convention, a field of any struct can declare
+// a *foreign* guard with a machine-readable marker in its doc or line
+// comment:
+//
+//	refs int // in-flight leases (guarded by Manager.mu)
+//
+// names a sync.Mutex/RWMutex field of another package-level struct as
+// the field's guard — the Manager/entry pattern, where the pool's
+// mutex protects the lease accounting inside every pooled entry. An
+// exported function that touches a foreign-guarded field must hold the
+// owner's lock: lock it directly (owner.mu.Lock / owner.mu.RLock) or
+// call a lock-taking method of the owner type. Unexported functions
+// are exempt, exactly like the with-lock-held helper convention above
+// (leaseLocked, release, evictOneLocked). An annotation naming a
+// nonexistent owner or a non-mutex field is itself a finding: a guard
+// declaration that validates nothing is documentation pretending to be
+// enforcement.
 package lockdiscipline
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"regexp"
 
 	"statsize/internal/analyzers/analysis"
 	"statsize/internal/analyzers/typeutil"
@@ -111,7 +131,201 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
+	checkForeignGuards(pass, methods)
 	return nil
+}
+
+// guardAnnotation is the machine-readable foreign-guard marker inside
+// a field's doc or line comment: `guarded by Owner.mutexField`.
+var guardAnnotation = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+
+// foreignGuard names the mutex that protects an annotated field.
+type foreignGuard struct {
+	ownerName  string
+	mutexField string
+}
+
+// checkForeignGuards enforces the `guarded by Owner.mu` annotations:
+// every exported function touching an annotated field must hold the
+// owner's lock. methods supplies the per-owner lock-taking sets
+// already computed for the same-struct rule.
+func checkForeignGuards(pass *analysis.Pass, methods map[string][]*method) {
+	foreign := parseForeignGuards(pass)
+	if len(foreign) == 0 {
+		return
+	}
+	lockTakingByType := make(map[string]map[string]bool, len(methods))
+	for tname, ms := range methods {
+		lockTakingByType[tname] = lockTakingSet(ms)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			// First annotated access per owner; one finding each.
+			type access struct {
+				node  ast.Node
+				field string
+				guard foreignGuard
+			}
+			byOwner := make(map[string]access)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pass.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				fv, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				if g, ok := foreign[fv]; ok {
+					if _, seen := byOwner[g.ownerName]; !seen {
+						byOwner[g.ownerName] = access{node: sel, field: fv.Name(), guard: g}
+					}
+				}
+				return true
+			})
+			for owner, acc := range byOwner {
+				if holdsOwnerLock(pass, fd.Body, acc.guard, lockTakingByType[owner]) {
+					continue
+				}
+				pass.Reportf(acc.node.Pos(),
+					"exported %s accesses field %s, guarded by %s.%s, without holding %s's lock (lock it directly or go through a lock-taking %s method)",
+					fd.Name.Name, acc.field, owner, acc.guard.mutexField, owner, owner)
+			}
+		}
+	}
+}
+
+// parseForeignGuards collects and validates the guarded-by field
+// annotations of every package-level struct.
+func parseForeignGuards(pass *analysis.Pass) map[*types.Var]foreignGuard {
+	out := make(map[*types.Var]foreignGuard)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					g, ok := parseGuardComment(field)
+					if !ok {
+						continue
+					}
+					if !validGuardOwner(pass, g) {
+						pass.Reportf(field.Pos(),
+							"guarded-by annotation names %s.%s, which is not a sync.Mutex/RWMutex field of a package-level struct",
+							g.ownerName, g.mutexField)
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							out[v] = g
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseGuardComment extracts the annotation from a field's line or doc
+// comment.
+func parseGuardComment(field *ast.Field) (foreignGuard, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardAnnotation.FindStringSubmatch(cg.Text()); m != nil {
+			return foreignGuard{ownerName: m[1], mutexField: m[2]}, true
+		}
+	}
+	return foreignGuard{}, false
+}
+
+// validGuardOwner reports whether the annotation names a real mutex:
+// a package-level struct with a sync.Mutex/RWMutex field of that name.
+func validGuardOwner(pass *analysis.Pass, g foreignGuard) bool {
+	tn, ok := pass.Pkg.Scope().Lookup(g.ownerName).(*types.TypeName)
+	if !ok {
+		return false
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == g.mutexField && isMutex(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// holdsOwnerLock reports whether body acquires the guard's mutex: a
+// direct owner.mu.Lock()/RLock() (or embedded owner.Lock()), or a call
+// to a lock-taking method of the owner type.
+func holdsOwnerLock(pass *analysis.Pass, body *ast.BlockStmt, g foreignGuard, lockTaking map[string]bool) bool {
+	isOwner := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		p, n := typeutil.NamedPath(tv.Type)
+		return p == pass.Pkg.Path() && n == g.ownerName
+	}
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := typeutil.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+		if fn == nil {
+			return true
+		}
+		if (fn.Name() == "Lock" || fn.Name() == "RLock") && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			switch base := typeutil.Unparen(sel.X).(type) {
+			case *ast.SelectorExpr:
+				if base.Sel.Name == g.mutexField && isOwner(base.X) {
+					held = true
+				}
+			default:
+				if isOwner(sel.X) {
+					held = true // embedded mutex: owner.Lock()
+				}
+			}
+			return true
+		}
+		if lockTaking != nil && lockTaking[fn.Name()] && isOwner(sel.X) {
+			held = true
+		}
+		return true
+	})
+	return held
 }
 
 // threshold is the acquisition count at which re-acquisition becomes a

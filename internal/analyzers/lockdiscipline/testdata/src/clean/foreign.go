@@ -1,0 +1,54 @@
+// foreign.go is the corrected twin of the foreign-guard violations:
+// every access to an annotated field holds the owner's lock, directly
+// or through a lock-taking owner method, and unexported helpers stay
+// exempt.
+package clean
+
+import "sync"
+
+// Pool mimics the server Manager: its mutex guards the lease
+// accounting inside every pooled pentry.
+type Pool struct {
+	mu      sync.Mutex
+	entries map[string]*pentry
+}
+
+type pentry struct {
+	id   string
+	refs int  // in-flight leases (guarded by Pool.mu)
+	gone bool // evicted from the pool (guarded by Pool.mu)
+}
+
+// Refs locks the owner mutex directly before reading.
+func (p *Pool) Refs(id string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.entries[id].refs
+}
+
+// Doom goes through the direct-lock path on a free function: the
+// owner is a parameter, not a receiver.
+func Doom(p *Pool, id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[id].gone = true
+}
+
+// Acquire is a lock-taking primitive (returns with the lock held).
+func (p *Pool) Acquire() *Pool {
+	p.mu.Lock()
+	return p
+}
+
+// ViaAcquire holds through a lock-taking owner method.
+func (p *Pool) ViaAcquire(id string) int {
+	p.Acquire()
+	defer p.mu.Unlock()
+	return p.entries[id].refs
+}
+
+// reap is unexported: the with-lock-held helper convention applies to
+// foreign guards exactly as to same-struct guards.
+func reap(e *pentry) bool {
+	return e.refs == 0 && !e.gone
+}

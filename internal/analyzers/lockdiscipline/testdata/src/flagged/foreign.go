@@ -1,0 +1,43 @@
+// foreign.go seeds violations of the guarded-by annotation: fields of
+// one struct protected by another struct's mutex (the Manager/entry
+// pool pattern), accessed without the owner's lock.
+package flagged
+
+import "sync"
+
+// Pool mimics the server Manager: its mutex guards the lease
+// accounting inside every pooled pentry.
+type Pool struct {
+	mu      sync.Mutex
+	entries map[string]*pentry
+}
+
+type pentry struct {
+	id   string
+	refs int  // in-flight leases (guarded by Pool.mu)
+	gone bool // evicted from the pool (guarded by Pool.mu)
+}
+
+// StealRefs reads a foreign-guarded field with no lock in sight.
+func StealRefs(e *pentry) int {
+	return e.refs // want `exported StealRefs accesses field refs, guarded by Pool\.mu, without holding Pool's lock`
+}
+
+// Doom writes a foreign-guarded field through a method of the wrong
+// type: pentry has no mutex of its own.
+func (e *pentry) Doom() {
+	e.gone = true // want `exported Doom accesses field gone, guarded by Pool\.mu, without holding Pool's lock`
+}
+
+// PeekUnlocked is on the owner but forgets its own mutex.
+func (p *Pool) PeekUnlocked(id string) int {
+	return p.entries[id].refs // want `exported PeekUnlocked accesses field refs, guarded by Pool\.mu, without holding Pool's lock` `exported method Pool\.PeekUnlocked accesses guarded field entries without acquiring the mutex`
+}
+
+// orphan carries an annotation that validates nothing: there is no
+// package-level Registry struct with a mutex named mu. The doc-comment
+// form is under test here; the finding lands on the field itself.
+type orphan struct {
+	// guarded by Registry.mu
+	m int // want `guarded-by annotation names Registry\.mu, which is not a sync\.Mutex/RWMutex field of a package-level struct`
+}

@@ -1,0 +1,329 @@
+// Package ssedone implements the statlint check for the SSE stream
+// grammar DESIGN.md's "Service layer" section fixes: start, then iter
+// events, then exactly one terminal done event — on every exit,
+// including cancellation. A stream that ends without done leaves the
+// client unable to distinguish a completed run from a severed
+// connection, so clients hang or retry a run that actually finished.
+//
+// The check is shape-based: a function that calls X.event("start", …)
+// has opened a stream, and every subsequent path out of the function —
+// each return statement and the fall-off end — must first call
+// X.event("done", …) (directly, in a defer, or inside a deferred
+// closure). Paths that panic or os.Exit are not checked, and when the
+// event writer is a plain identifier only done calls on that same
+// writer count.
+package ssedone
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"statsize/internal/analyzers/analysis"
+	"statsize/internal/analyzers/typeutil"
+)
+
+// Analyzer is the ssedone pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ssedone",
+	Doc:  "SSE run loops must emit the terminal done event on every exit path, including cancellation",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sseState is the per-path stream state: exposed means a start event
+// was emitted and no done has followed yet; deferredDone means a defer
+// guarantees the done event at function exit.
+type sseState struct {
+	exposed      bool
+	deferredDone bool
+	writer       *types.Var // the start call's receiver, nil = match any
+	startPos     token.Pos
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Cheap pre-pass: most functions never emit SSE events.
+	if !mentionsEvent(body) {
+		return
+	}
+	c := &checker{pass: pass}
+	st, terminated := c.walkStmts(body.List, sseState{})
+	if !terminated && st.exposed && !st.deferredDone {
+		c.pass.Reportf(body.Rbrace, "SSE stream started at %s reaches the end of the function without the terminal done event: clients cannot tell completion from a severed connection",
+			c.pass.Fset.Position(st.startPos))
+	}
+}
+
+// mentionsEvent reports whether body contains any .event(...) call
+// outside nested function literals (those are checked on their own).
+func mentionsEvent(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "event" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, st sseState) (sseState, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = c.walkStmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, st sseState) (sseState, bool) {
+	switch t := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := typeutil.Unparen(t.X).(*ast.CallExpr); ok {
+			st = c.handleCall(call, st)
+			if isTerminalCall(c.pass.Info, call) {
+				return st, true
+			}
+		}
+		return st, false
+	case *ast.DeferStmt:
+		if name, w := eventCall(c.pass.Info, t.Call); name == "done" && writerMatches(st, w) {
+			st.deferredDone = true
+		}
+		if lit, ok := typeutil.Unparen(t.Call.Fun).(*ast.FuncLit); ok && closureEmitsDone(c.pass.Info, lit, st) {
+			st.deferredDone = true
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		if st.exposed && !st.deferredDone {
+			c.pass.Reportf(t.Pos(), "return escapes an open SSE stream (started at %s) without the terminal done event: clients cannot tell completion from a severed connection",
+				c.pass.Fset.Position(st.startPos))
+		}
+		return st, true
+	case *ast.IfStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st)
+		}
+		thenSt, thenTerm := c.walkStmts(t.Body.List, st)
+		elseSt, elseTerm := st, false
+		switch e := t.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt, elseTerm = c.walkStmts(e.List, st)
+		case *ast.IfStmt:
+			elseSt, elseTerm = c.walkStmt(e, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeState(thenSt, elseSt), false
+		}
+	case *ast.BlockStmt:
+		return c.walkStmts(t.List, st)
+	case *ast.LabeledStmt:
+		return c.walkStmt(t.Stmt, st)
+	case *ast.ForStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st)
+		}
+		after, _ := c.walkStmts(t.Body.List, st)
+		return mergeState(st, after), false
+	case *ast.RangeStmt:
+		after, _ := c.walkStmts(t.Body.List, st)
+		return mergeState(st, after), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkClauses(s, st)
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.AssignStmt:
+		// An event call can hide in an assignment RHS only through a
+		// closure; closures are analyzed as their own functions.
+		return st, false
+	default:
+		return st, false
+	}
+}
+
+// walkClauses merges every case body of a switch/select, including the
+// implicit empty path when a switch has no default.
+func (c *checker) walkClauses(s ast.Stmt, st sseState) (sseState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch t := s.(type) {
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st)
+		}
+		body = t.Body
+	case *ast.TypeSwitchStmt:
+		if t.Init != nil {
+			st, _ = c.walkStmt(t.Init, st)
+		}
+		body = t.Body
+	case *ast.SelectStmt:
+		body = t.Body
+		hasDefault = true // a select blocks; no implicit skip path
+	}
+	merged := sseState{}
+	haveMerged := false
+	allTerm := true
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch t := cl.(type) {
+		case *ast.CaseClause:
+			list = t.Body
+			if t.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			list = t.Body
+		}
+		clSt, term := c.walkStmts(list, st)
+		if !term {
+			allTerm = false
+			if !haveMerged {
+				merged, haveMerged = clSt, true
+			} else {
+				merged = mergeState(merged, clSt)
+			}
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if !haveMerged {
+			merged, haveMerged = st, true
+		} else {
+			merged = mergeState(merged, st)
+		}
+	}
+	if allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if !haveMerged {
+		merged = st
+	}
+	return merged, false
+}
+
+// handleCall updates the stream state for one statement-position call.
+func (c *checker) handleCall(call *ast.CallExpr, st sseState) sseState {
+	name, w := eventCall(c.pass.Info, call)
+	switch name {
+	case "start":
+		st.exposed = true
+		st.writer = w
+		st.startPos = call.Pos()
+	case "done":
+		if writerMatches(st, w) {
+			st.exposed = false
+		}
+	}
+	return st
+}
+
+// mergeState joins two paths: the stream is exposed after the join if
+// it is exposed on either incoming path, and a deferred done only
+// holds if both paths registered it.
+func mergeState(a, b sseState) sseState {
+	out := a
+	if b.exposed && !a.exposed {
+		out.exposed = true
+		out.writer = b.writer
+		out.startPos = b.startPos
+	}
+	out.deferredDone = a.deferredDone && b.deferredDone
+	return out
+}
+
+// eventCall decodes X.event("name", ...) calls: the event name from
+// the first argument's string literal, and the writer variable when X
+// is a plain identifier (nil otherwise).
+func eventCall(info *types.Info, call *ast.CallExpr) (string, *types.Var) {
+	sel, ok := typeutil.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "event" || len(call.Args) == 0 {
+		return "", nil
+	}
+	lit, ok := typeutil.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", nil
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", nil
+	}
+	var w *types.Var
+	if id, ok := typeutil.Unparen(sel.X).(*ast.Ident); ok {
+		w, _ = info.Uses[id].(*types.Var)
+	}
+	return name, w
+}
+
+// writerMatches reports whether a done call on writer w can close the
+// stream in st: unknown writers on either side match anything.
+func writerMatches(st sseState, w *types.Var) bool {
+	return st.writer == nil || w == nil || st.writer == w
+}
+
+// closureEmitsDone reports whether a deferred closure contains a done
+// event for the stream's writer.
+func closureEmitsDone(info *types.Info, lit *ast.FuncLit, st sseState) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, w := eventCall(info, call); name == "done" && writerMatches(st, w) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminalCall reports whether a call never returns.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := typeutil.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := typeutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package ssedone
+
+import (
+	"testing"
+
+	"statsize/internal/analyzers/analyzertest"
+)
+
+func TestSSEDone(t *testing.T) {
+	analyzertest.Run(t, Analyzer, "flagged", "clean")
+}

@@ -1,0 +1,70 @@
+// Package clean is the corrected twin of the flagged corpus: every
+// started stream reaches its terminal done event on every path, so
+// ssedone must stay silent.
+package clean
+
+import "context"
+
+type writer struct{}
+
+func (w *writer) event(name string, id int, payload any) {}
+
+// DrainThenDone mirrors server.streamOptimize: start, a cancellable
+// drain loop, one unconditional done.
+func DrainThenDone(ctx context.Context, w *writer, events <-chan int) {
+	w.event("start", -1, nil)
+drain:
+	for {
+		select {
+		case it, ok := <-events:
+			if !ok {
+				break drain
+			}
+			w.event("iter", it, nil)
+		case <-ctx.Done():
+			break drain
+		}
+	}
+	w.event("done", -1, nil)
+}
+
+// ReturnBeforeStart may exit freely while the stream is unopened.
+func ReturnBeforeStart(w *writer, fail bool) {
+	if fail {
+		return
+	}
+	w.event("start", -1, nil)
+	w.event("done", -1, nil)
+}
+
+// DeferredDone guarantees the terminal event on every exit.
+func DeferredDone(w *writer, fail bool) {
+	w.event("start", -1, nil)
+	defer w.event("done", -1, nil)
+	if fail {
+		return
+	}
+	w.event("iter", 0, nil)
+}
+
+// DeferredClosureDone terminates through a deferred closure.
+func DeferredClosureDone(w *writer, fail bool) {
+	w.event("start", -1, nil)
+	defer func() {
+		w.event("done", -1, nil)
+	}()
+	if fail {
+		return
+	}
+}
+
+// BothArmsDone terminates the stream on each branch before returning.
+func BothArmsDone(w *writer, ok bool) {
+	w.event("start", -1, nil)
+	if ok {
+		w.event("iter", 0, nil)
+		w.event("done", -1, nil)
+		return
+	}
+	w.event("done", -1, nil)
+}

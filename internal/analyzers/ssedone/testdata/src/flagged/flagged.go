@@ -1,0 +1,35 @@
+// Package flagged seeds the stream-grammar violations ssedone exists
+// to catch: SSE runs whose start event is not matched by a terminal
+// done event on some exit path.
+package flagged
+
+// writer mimics the server's sseWriter frame method; the check is
+// shape-based so the corpus does not need the unexported real type.
+type writer struct{}
+
+func (w *writer) event(name string, id int, payload any) {}
+
+// EarlyReturnLeak bails out mid-stream without the terminal event.
+func EarlyReturnLeak(w *writer, fail bool) {
+	w.event("start", -1, nil)
+	if fail {
+		return // want `return escapes an open SSE stream`
+	}
+	w.event("done", -1, nil)
+}
+
+// FallOffLeak simply never terminates the stream.
+func FallOffLeak(w *writer) {
+	w.event("start", -1, nil)
+	w.event("iter", 0, nil)
+} // want `reaches the end of the function without the terminal done event`
+
+// BranchLeak terminates one arm but not the other.
+func BranchLeak(w *writer, ok bool) {
+	w.event("start", -1, nil)
+	if ok {
+		w.event("done", -1, nil)
+		return
+	}
+	return // want `return escapes an open SSE stream`
+}

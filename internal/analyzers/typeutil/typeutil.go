@@ -12,10 +12,13 @@ import (
 
 // Import paths of the packages whose types the invariants name.
 const (
-	DistPath  = "statsize/internal/dist"
-	SSTAPath  = "statsize/internal/ssta"
-	GraphPath = "statsize/internal/graph"
-	ParPath   = "statsize/internal/par"
+	DistPath    = "statsize/internal/dist"
+	SSTAPath    = "statsize/internal/ssta"
+	GraphPath   = "statsize/internal/graph"
+	ParPath     = "statsize/internal/par"
+	SessionPath = "statsize/internal/session"
+	ServerPath  = "statsize/internal/server"
+	RootPath    = "statsize"
 )
 
 // Unparen strips any number of enclosing parentheses.

@@ -33,8 +33,10 @@ type poolKey struct {
 }
 
 // entry is one pooled session plus its lease accounting. The session
-// itself serializes its own calls; refs/lastUsed/doomed are guarded by
-// the Manager's mutex.
+// itself serializes its own calls; refs/lastUsed/doomed carry the
+// machine-readable foreign-guard annotation statlint's lockdiscipline
+// analyzer enforces: exported functions touching them must hold the
+// Manager's mutex.
 type entry struct {
 	id       string
 	key      poolKey
@@ -45,9 +47,9 @@ type entry struct {
 	obj      statsize.Objective // nil = engine default; passed to optimizer runs
 	created  time.Time
 
-	refs     int       // in-flight leases; eviction requires 0
-	lastUsed time.Time // updated on every acquire and release
-	doomed   bool      // removed from the pool; close fires when refs drain to 0
+	refs     int       // in-flight leases; eviction requires 0 (guarded by Manager.mu)
+	lastUsed time.Time // updated on every acquire and release (guarded by Manager.mu)
+	doomed   bool      // close fires when refs drain to 0 (guarded by Manager.mu)
 }
 
 // Lease pins one session for the duration of one request: the manager
