@@ -1,0 +1,51 @@
+// Package client is the public resilient client for the statsized
+// daemon. It re-exports the implementation in internal/client together
+// with the wire types it speaks, so programs outside this repository's
+// internal tree can drive a daemon with retries, Retry-After honoring,
+// and optimize-stream reconnection:
+//
+//	cl, err := client.New(client.Config{BaseURL: "http://127.0.0.1:8790"})
+//	sess, err := cl.Open(ctx, &client.OpenSessionRequest{Design: "c1908"})
+//	done, err := cl.Optimize(ctx, sess.SessionID,
+//	    &client.OptimizeRequest{Optimizer: "accelerated"}, nil)
+//
+// See DESIGN.md "Resilience" for the retry/idempotency table.
+package client
+
+import (
+	iclient "statsize/internal/client"
+	"statsize/internal/server"
+)
+
+// Client, Config, APIError, and Event are the resilient client proper.
+type (
+	Client   = iclient.Client
+	Config   = iclient.Config
+	APIError = iclient.APIError
+	Event    = iclient.Event
+)
+
+// New builds a Client; Config.BaseURL is required.
+var New = iclient.New
+
+// Wire types for every endpoint the client speaks.
+type (
+	OpenSessionRequest  = server.OpenSessionRequest
+	OpenSessionResponse = server.OpenSessionResponse
+	SessionInfoResponse = server.SessionInfoResponse
+	AnalyzeRequest      = server.AnalyzeRequest
+	AnalyzeResponse     = server.AnalyzeResponse
+	WhatIfRequest       = server.WhatIfRequest
+	WhatIfResponse      = server.WhatIfResponse
+	CandidateWire       = server.CandidateWire
+	ResizeRequest       = server.ResizeRequest
+	ResizeResponse      = server.ResizeResponse
+	CheckpointResponse  = server.CheckpointResponse
+	OptimizeRequest     = server.OptimizeRequest
+	StartEvent          = server.StartEvent
+	DoneEvent           = server.DoneEvent
+	HealthResponse      = server.HealthResponse
+	AdmissionHealth     = server.AdmissionHealth
+	ClassHealth         = server.ClassHealth
+	StatsResponse       = server.StatsResponse
+)

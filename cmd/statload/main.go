@@ -1,26 +1,37 @@
-// Command statload is the saturation benchmark for statsized: it
-// drives concurrent WhatIfBatch traffic against a running daemon over
-// a sweep of concurrency levels and reports QPS and latency quantiles
-// per level as machine-readable JSON (the committed BENCH_PR7.json).
+// Command statload is the load benchmark for statsized. It has two
+// modes, both built on the resilient statsize/client (retries disabled
+// — the generator measures the daemon, not the client's persistence):
 //
-// Usage, against a local daemon:
+// Sweep mode (default) drives concurrent what-if batches over a sweep
+// of concurrency levels and reports QPS and latency quantiles per
+// level (the committed BENCH_PR7.json):
 //
 //	statsized -addr 127.0.0.1:8790 &
 //	statload -url http://127.0.0.1:8790 -design c1908 \
 //	    -levels 16,64,256,1024 -duration 8s -out BENCH_PR7.json
 //
-// Each worker loops a batched what-if request against one of a small
-// set of pooled sessions (distinct client ids), so the run exercises
-// exactly the multiplexing path the service layer exists for: many
-// concurrent clients over few live analyses.
+// Overload mode (-overload) offers a multiple of the daemon's
+// query-class saturation point and measures what the admission
+// controller does with the excess: goodput, shed rate, and the latency
+// split between served and shed requests (the committed
+// BENCH_PR9.json, one run against a default daemon and one against
+// -no-admission):
+//
+//	statload -url http://127.0.0.1:8790 -overload -saturation 2 \
+//	    -deadline-ms 1000 -duration 8s -out overload.json
+//
+// Each worker loops requests against one of a small set of pooled
+// sessions (distinct client ids), so the run exercises exactly the
+// multiplexing path the service layer exists for: many concurrent
+// clients over few live analyses.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -31,29 +42,11 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"statsize/client"
 )
 
-type candidate struct {
-	Gate  int64   `json:"gate"`
-	Width float64 `json:"width"`
-}
-
-type whatIfRequest struct {
-	Candidates []candidate `json:"candidates"`
-}
-
-type openRequest struct {
-	Design string `json:"design"`
-	Client string `json:"client"`
-	Bins   int    `json:"bins,omitempty"`
-}
-
-type openResponse struct {
-	SessionID string `json:"session_id"`
-	NumGates  int    `json:"num_gates"`
-}
-
-// levelReport is one concurrency level's outcome.
+// levelReport is one sweep concurrency level's outcome.
 type levelReport struct {
 	Concurrency int     `json:"concurrency"`
 	DurationS   float64 `json:"duration_s"`
@@ -67,7 +60,7 @@ type levelReport struct {
 	MaxMs       float64 `json:"max_ms"`
 }
 
-// report is the full benchmark artifact.
+// report is the sweep-mode benchmark artifact.
 type report struct {
 	Tool       string        `json:"tool"`
 	URL        string        `json:"url"`
@@ -80,6 +73,41 @@ type report struct {
 	Levels     []levelReport `json:"levels"`
 }
 
+// overloadReport is the overload-mode artifact: one offered-load level
+// far past saturation, with the served/shed split that admission
+// control exists to create.
+type overloadReport struct {
+	Tool             string  `json:"tool"`
+	Mode             string  `json:"mode"`
+	URL              string  `json:"url"`
+	Design           string  `json:"design"`
+	NumGates         int     `json:"num_gates"`
+	Bins             int     `json:"bins"`
+	Batch            int     `json:"batch"`
+	Sessions         int     `json:"sessions"`
+	GoMaxProcs       int     `json:"go_max_procs"`
+	AdmissionEnabled bool    `json:"admission_enabled"`
+	QuerySlots       int     `json:"query_slots,omitempty"`
+	Saturation       float64 `json:"saturation"`
+	Concurrency      int     `json:"concurrency"`
+	DeadlineMs       int     `json:"deadline_ms"`
+	DurationS        float64 `json:"duration_s"`
+
+	Requests        int     `json:"requests"`
+	Served          int     `json:"served"`
+	Shed            int     `json:"shed"`
+	DeadlineExpired int     `json:"deadline_expired"`
+	Errors          int     `json:"errors"`
+	GoodputQPS      float64 `json:"goodput_qps"`
+	ShedRate        float64 `json:"shed_rate"`
+
+	ServedP50Ms float64 `json:"served_p50_ms"`
+	ServedP95Ms float64 `json:"served_p95_ms"`
+	ServedP99Ms float64 `json:"served_p99_ms"`
+	ShedP50Ms   float64 `json:"shed_p50_ms"`
+	ShedP99Ms   float64 `json:"shed_p99_ms"`
+}
+
 func main() {
 	var (
 		url      = flag.String("url", "http://127.0.0.1:8790", "daemon base URL")
@@ -87,52 +115,81 @@ func main() {
 		bins     = flag.Int("bins", 400, "SSTA grid bins for the pooled sessions")
 		sessions = flag.Int("sessions", 8, "pooled sessions (distinct client ids) to multiplex over")
 		batch    = flag.Int("batch", 8, "candidates per what-if request")
-		levels   = flag.String("levels", "16,64,256,1024", "comma-separated concurrency sweep")
-		duration = flag.Duration("duration", 8*time.Second, "wall-clock budget per level")
+		levels   = flag.String("levels", "16,64,256,1024", "comma-separated concurrency sweep (sweep mode)")
+		duration = flag.Duration("duration", 8*time.Second, "wall-clock budget per level / overload run")
 		seed     = flag.Int64("seed", 1, "candidate-generator seed")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+
+		overload   = flag.Bool("overload", false, "overload mode: offer -saturation times the query-class capacity and measure goodput vs shed")
+		saturation = flag.Float64("saturation", 2.0, "offered-load multiple of the daemon's query capacity (slots+queue)")
+		conc       = flag.Int("conc", 0, "overload worker count (0 = derive from /healthz admission capacity)")
+		deadlineMs = flag.Int("deadline-ms", 1000, "per-request deadline in overload mode (0 = none)")
 	)
 	flag.Parse()
 	log.SetPrefix("statload: ")
 	log.SetFlags(0)
 
+	maxConc := 0
 	sweep, err := parseLevels(*levels)
 	if err != nil {
 		log.Fatal(err)
 	}
-	maxConc := sweep[len(sweep)-1]
+	maxConc = sweep[len(sweep)-1]
+	if *overload && *conc > maxConc {
+		maxConc = *conc
+	}
 
-	// One shared transport sized for the largest level, so connections
-	// are reused across the sweep instead of churning through TIME_WAIT.
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        maxConc + 8,
-		MaxIdleConnsPerHost: maxConc + 8,
-	}}
+	// One shared transport sized generously, so connections are reused
+	// instead of churning through TIME_WAIT. Retries are disabled: a
+	// shed must be recorded as a shed, not quietly absorbed.
+	cl, err := client.New(client.Config{
+		BaseURL: *url,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxConc + 700,
+			MaxIdleConnsPerHost: maxConc + 700,
+		},
+		MaxRetries:     -1,
+		AttemptTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	ids, numGates, err := openSessions(client, *url, *design, *bins, *sessions)
+	ids, numGates, err := openSessions(cl, *design, *bins, *sessions)
 	if err != nil {
 		log.Fatalf("opening sessions: %v", err)
 	}
 	log.Printf("pool ready: %d sessions on %s (%d gates)", len(ids), *design, numGates)
 
-	rep := &report{
-		Tool:       "statload",
-		URL:        *url,
-		Design:     *design,
-		NumGates:   numGates,
-		Bins:       *bins,
-		Batch:      *batch,
-		Sessions:   *sessions,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-	}
-	for _, conc := range sweep {
-		lvl := runLevel(client, *url, ids, numGates, *batch, conc, *duration, *seed)
-		rep.Levels = append(rep.Levels, lvl)
-		log.Printf("concurrency %4d: %6.1f qps  p50 %8.2fms  p99 %9.2fms  errors %d",
-			lvl.Concurrency, lvl.QPS, lvl.P50Ms, lvl.P99Ms, lvl.Errors)
+	var artifact any
+	if *overload {
+		artifact = runOverload(cl, overloadParams{
+			url: *url, design: *design, bins: *bins, batch: *batch,
+			ids: ids, numGates: numGates,
+			saturation: *saturation, conc: *conc, deadlineMs: *deadlineMs,
+			duration: *duration, seed: *seed,
+		})
+	} else {
+		rep := &report{
+			Tool:       "statload",
+			URL:        *url,
+			Design:     *design,
+			NumGates:   numGates,
+			Bins:       *bins,
+			Batch:      *batch,
+			Sessions:   *sessions,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		}
+		for _, c := range sweep {
+			lvl := runLevel(cl, ids, numGates, *batch, c, *duration, *seed)
+			rep.Levels = append(rep.Levels, lvl)
+			log.Printf("concurrency %4d: %6.1f qps  p50 %8.2fms  p99 %9.2fms  errors %d",
+				lvl.Concurrency, lvl.QPS, lvl.P50Ms, lvl.P99Ms, lvl.Errors)
+		}
+		artifact = rep
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	enc, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -164,50 +221,34 @@ func parseLevels(s string) ([]int, error) {
 	return out, nil
 }
 
-// bodyCap bounds every response read: the daemon's replies are small
-// JSON documents, so a megabyte is an order of magnitude of headroom,
-// and a misbehaving endpoint cannot balloon the load generator.
-const bodyCap = 1 << 20
-
-// readBounded drains at most bodyCap bytes of an HTTP response body.
-func readBounded(resp *http.Response) ([]byte, error) {
-	return io.ReadAll(io.LimitReader(resp.Body, bodyCap))
-}
-
 // openSessions creates the pooled sessions the workers multiplex over.
-func openSessions(client *http.Client, base, design string, bins, n int) ([]string, int, error) {
+func openSessions(cl *client.Client, design string, bins, n int) ([]string, int, error) {
 	ids := make([]string, n)
 	numGates := 0
 	for i := range ids {
-		body, err := json.Marshal(&openRequest{Design: design, Client: fmt.Sprintf("load-%d", i), Bins: bins})
+		resp, err := cl.Open(context.Background(), &client.OpenSessionRequest{
+			Design: design, Client: fmt.Sprintf("load-%d", i), Bins: bins,
+		})
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, fmt.Errorf("session %d: %w", i, err)
 		}
-		resp, err := client.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, 0, err
-		}
-		out, err := readBounded(resp)
-		resp.Body.Close()
-		if err != nil {
-			return nil, 0, err
-		}
-		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-			return nil, 0, fmt.Errorf("open session %d: status %d body %s", i, resp.StatusCode, out)
-		}
-		var or openResponse
-		if err := json.Unmarshal(out, &or); err != nil {
-			return nil, 0, err
-		}
-		ids[i] = or.SessionID
-		numGates = or.NumGates
+		ids[i] = resp.SessionID
+		numGates = resp.NumGates
 	}
 	return ids, numGates, nil
 }
 
+// percentile reads the p-quantile off sorted millisecond samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
 // runLevel drives conc workers for the duration and aggregates their
-// latency samples.
-func runLevel(client *http.Client, base string, ids []string, numGates, batch, conc int, d time.Duration, seed int64) levelReport {
+// latency samples (sweep mode).
+func runLevel(cl *client.Client, ids []string, numGates, batch, conc int, d time.Duration, seed int64) levelReport {
 	type sample struct {
 		lat time.Duration
 		err bool
@@ -221,7 +262,7 @@ func runLevel(client *http.Client, base string, ids []string, numGates, batch, c
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
-			url := base + "/v1/sessions/" + ids[w%len(ids)] + "/whatif"
+			id := ids[w%len(ids)]
 			var samples []sample
 			for {
 				select {
@@ -230,23 +271,9 @@ func runLevel(client *http.Client, base string, ids []string, numGates, batch, c
 					return
 				default:
 				}
-				req := whatIfRequest{Candidates: make([]candidate, batch)}
-				for i := range req.Candidates {
-					req.Candidates[i] = candidate{
-						Gate:  int64(rng.Intn(numGates)),
-						Width: 1.0 + 3.0*rng.Float64(),
-					}
-				}
-				body, _ := json.Marshal(&req)
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-				bad := err != nil
-				if err == nil {
-					_, cerr := io.Copy(io.Discard, io.LimitReader(resp.Body, bodyCap))
-					resp.Body.Close()
-					bad = cerr != nil || resp.StatusCode != http.StatusOK
-				}
-				samples = append(samples, sample{lat: time.Since(t0), err: bad})
+				_, err := cl.WhatIf(context.Background(), id, randomBatch(rng, numGates, batch))
+				samples = append(samples, sample{lat: time.Since(t0), err: err != nil})
 			}
 		}(w)
 	}
@@ -256,40 +283,189 @@ func runLevel(client *http.Client, base string, ids []string, numGates, batch, c
 	elapsed := time.Since(start)
 
 	var lats []float64
-	requests, errors := 0, 0
+	requests, errCount := 0, 0
 	for _, ws := range perWorker {
 		for _, s := range ws {
 			requests++
 			if s.err {
-				errors++
+				errCount++
 				continue
 			}
 			lats = append(lats, float64(s.lat)/float64(time.Millisecond))
 		}
 	}
 	sort.Float64s(lats)
-	q := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lats)-1))
-		return lats[i]
-	}
 	maxMs := 0.0
 	if len(lats) > 0 {
 		maxMs = lats[len(lats)-1]
 	}
-	ok := requests - errors
+	ok := requests - errCount
 	return levelReport{
 		Concurrency: conc,
 		DurationS:   elapsed.Seconds(),
 		Requests:    requests,
-		Errors:      errors,
+		Errors:      errCount,
 		QPS:         float64(ok) / elapsed.Seconds(),
 		CandPerSec:  float64(ok*batch) / elapsed.Seconds(),
-		P50Ms:       q(0.50),
-		P95Ms:       q(0.95),
-		P99Ms:       q(0.99),
+		P50Ms:       percentile(lats, 0.50),
+		P95Ms:       percentile(lats, 0.95),
+		P99Ms:       percentile(lats, 0.99),
 		MaxMs:       maxMs,
 	}
+}
+
+func randomBatch(rng *rand.Rand, numGates, batch int) *client.WhatIfRequest {
+	req := &client.WhatIfRequest{Candidates: make([]client.CandidateWire, batch)}
+	for i := range req.Candidates {
+		req.Candidates[i] = client.CandidateWire{
+			Gate:  int64(rng.Intn(numGates)),
+			Width: 1.0 + 3.0*rng.Float64(),
+		}
+	}
+	return req
+}
+
+// Outcome classes for overload-mode samples.
+const (
+	kindServed = iota
+	kindShed
+	kindDeadline
+	kindError
+)
+
+// classify maps one request outcome to its overload-report bucket:
+// 429/503 are the admission controller shedding, 408/504 (or a local
+// context timeout) are deadline expiry, everything else non-nil is an
+// error.
+func classify(err error) int {
+	if err == nil {
+		return kindServed
+	}
+	var ae *client.APIError
+	switch {
+	case errors.As(err, &ae) && (ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable):
+		return kindShed
+	case errors.As(err, &ae) && (ae.Status == http.StatusRequestTimeout || ae.Status == http.StatusGatewayTimeout),
+		errors.Is(err, context.DeadlineExceeded):
+		return kindDeadline
+	default:
+		return kindError
+	}
+}
+
+type overloadParams struct {
+	url, design      string
+	bins, batch      int
+	ids              []string
+	numGates         int
+	saturation       float64
+	conc, deadlineMs int
+	duration         time.Duration
+	seed             int64
+}
+
+// runOverload offers saturation × the daemon's query capacity and
+// classifies every response: served, shed (429/503 with a Retry-After),
+// deadline-expired (408/504), or error.
+func runOverload(cl *client.Client, p overloadParams) *overloadReport {
+	rep := &overloadReport{
+		Tool: "statload", Mode: "overload",
+		URL: p.url, Design: p.design, NumGates: p.numGates,
+		Bins: p.bins, Batch: p.batch, Sessions: len(p.ids),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Saturation: p.saturation, DeadlineMs: p.deadlineMs,
+	}
+
+	// Saturation point: the query class's slot + queue capacity from
+	// /healthz. Past it every extra in-flight request must be shed (or,
+	// with admission off, pile up).
+	capacity := 64 // daemon default when /healthz has no admission block
+	if h, err := cl.Health(context.Background()); err == nil && h.Admission != nil {
+		rep.AdmissionEnabled = h.Admission.Enabled
+		if q, ok := h.Admission.Classes["query"]; ok {
+			rep.QuerySlots = q.Slots
+			capacity = q.Slots + q.Queue
+		}
+	}
+	conc := p.conc
+	if conc <= 0 {
+		conc = int(p.saturation * float64(capacity))
+	}
+	rep.Concurrency = conc
+	log.Printf("overload: %d workers (%.1fx of capacity %d), deadline %dms, admission=%v",
+		conc, p.saturation, capacity, p.deadlineMs, rep.AdmissionEnabled)
+
+	type sample struct {
+		lat  time.Duration
+		kind int // 0 served, 1 shed, 2 deadline, 3 error
+	}
+	perWorker := make([][]sample, conc)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.seed + int64(w)))
+			id := p.ids[w%len(p.ids)]
+			var samples []sample
+			for {
+				select {
+				case <-stop:
+					perWorker[w] = samples
+					return
+				default:
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if p.deadlineMs > 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(p.deadlineMs)*time.Millisecond)
+				}
+				t0 := time.Now()
+				_, err := cl.WhatIf(ctx, id, randomBatch(rng, p.numGates, p.batch))
+				cancel()
+				samples = append(samples, sample{lat: time.Since(t0), kind: classify(err)})
+			}
+		}(w)
+	}
+	time.Sleep(p.duration)
+	close(stop)
+	wg.Wait()
+	rep.DurationS = time.Since(start).Seconds()
+
+	var served, shed []float64
+	for _, ws := range perWorker {
+		for _, s := range ws {
+			rep.Requests++
+			ms := float64(s.lat) / float64(time.Millisecond)
+			switch s.kind {
+			case kindServed:
+				rep.Served++
+				served = append(served, ms)
+			case kindShed:
+				rep.Shed++
+				shed = append(shed, ms)
+			case kindDeadline:
+				rep.DeadlineExpired++
+			default:
+				rep.Errors++
+			}
+		}
+	}
+	sort.Float64s(served)
+	sort.Float64s(shed)
+	rep.GoodputQPS = float64(rep.Served) / rep.DurationS
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	rep.ServedP50Ms = percentile(served, 0.50)
+	rep.ServedP95Ms = percentile(served, 0.95)
+	rep.ServedP99Ms = percentile(served, 0.99)
+	rep.ShedP50Ms = percentile(shed, 0.50)
+	rep.ShedP99Ms = percentile(shed, 0.99)
+	log.Printf("overload: %d served (%.1f qps goodput, p99 %.1fms), %d shed (%.0f%%, p99 %.1fms), %d deadline-expired, %d errors",
+		rep.Served, rep.GoodputQPS, rep.ServedP99Ms,
+		rep.Shed, 100*rep.ShedRate, rep.ShedP99Ms, rep.DeadlineExpired, rep.Errors)
+	return rep
 }

@@ -1,55 +1,70 @@
 package main
 
 import (
-	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"testing"
+
+	"statsize/client"
 )
 
-// TestReadBoundedCapsOversizedResponses pins the load generator's
-// ingress bound: a misbehaving (or hostile) endpoint streaming an
-// arbitrarily large body must cost at most bodyCap bytes of memory,
-// not hang the sweep on an unbounded read.
-func TestReadBoundedCapsOversizedResponses(t *testing.T) {
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Write(bytes.Repeat([]byte("x"), 3*bodyCap))
-	}))
-	defer srv.Close()
-
-	resp, err := http.Get(srv.URL)
+// TestParseLevels pins the sweep parser: levels come back sorted, junk
+// and emptiness are rejected.
+func TestParseLevels(t *testing.T) {
+	got, err := parseLevels("256, 16,64")
 	if err != nil {
-		t.Fatalf("GET: %v", err)
+		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	out, err := readBounded(resp)
-	if err != nil {
-		t.Fatalf("readBounded: %v", err)
+	if fmt.Sprint(got) != "[16 64 256]" {
+		t.Fatalf("parseLevels = %v, want sorted [16 64 256]", got)
 	}
-	if len(out) != bodyCap {
-		t.Fatalf("readBounded returned %d bytes, want the %d-byte cap", len(out), bodyCap)
+	for _, bad := range []string{"", "16,zero", "0", "-4"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Errorf("parseLevels(%q) accepted junk", bad)
+		}
 	}
 }
 
-// TestReadBoundedPassesSmallBodies: ordinary daemon replies come
-// through intact.
-func TestReadBoundedPassesSmallBodies(t *testing.T) {
-	const payload = `{"session_id":"s1","num_gates":6}`
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte(payload))
-	}))
-	defer srv.Close()
+// TestClassify pins the overload-report buckets: sheds and deadline
+// expiries must never be conflated — their latency split is the whole
+// point of the benchmark.
+func TestClassify(t *testing.T) {
+	wrap := func(status int) error {
+		return fmt.Errorf("call: %w", &client.APIError{Status: status, Code: "x"})
+	}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, kindServed},
+		{wrap(http.StatusTooManyRequests), kindShed},
+		{wrap(http.StatusServiceUnavailable), kindShed},
+		{wrap(http.StatusRequestTimeout), kindDeadline},
+		{wrap(http.StatusGatewayTimeout), kindDeadline},
+		{fmt.Errorf("do: %w", context.DeadlineExceeded), kindDeadline},
+		{wrap(http.StatusNotFound), kindError},
+		{errors.New("connection refused"), kindError},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.err); got != tc.want {
+			t.Errorf("classify(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
 
-	resp, err := http.Get(srv.URL)
-	if err != nil {
-		t.Fatalf("GET: %v", err)
+// TestPercentile: quantiles read off the sorted samples without
+// interpolation surprises on tiny or empty sets.
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Fatalf("percentile(nil) = %v", got)
 	}
-	defer resp.Body.Close()
-	out, err := readBounded(resp)
-	if err != nil {
-		t.Fatalf("readBounded: %v", err)
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(samples, 0.50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
 	}
-	if string(out) != payload {
-		t.Fatalf("readBounded = %q, want %q", out, payload)
+	if got := percentile(samples, 1.0); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
 	}
 }

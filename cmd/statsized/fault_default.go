@@ -1,0 +1,12 @@
+//go:build !faultinject
+
+package main
+
+import "net/http"
+
+// Fault injection is compiled out of the default build: no flag, no
+// plan parsing, no middleware. Build with -tags faultinject to enable
+// -fault-plan.
+func registerFaultFlags() {}
+
+func faultMiddleware() (func(http.Handler) http.Handler, error) { return nil, nil }

@@ -1,0 +1,39 @@
+//go:build faultinject
+
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"statsize/internal/faultinject"
+)
+
+// Built with -tags faultinject, the daemon accepts a declarative fault
+// plan and injects its faults (latency, 5xx, connection resets, SSE
+// truncation) into every non-exempt request. Chaos harnesses drive a
+// daemon built this way; the default build has none of this code.
+var faultPlanPath string
+
+func registerFaultFlags() {
+	flag.StringVar(&faultPlanPath, "fault-plan", "",
+		"JSON fault plan (see internal/faultinject); empty injects nothing")
+}
+
+func faultMiddleware() (func(http.Handler) http.Handler, error) {
+	if faultPlanPath == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(faultPlanPath)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := faultinject.ParsePlan(raw)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("FAULT INJECTION ACTIVE: plan %s (seed %d)", faultPlanPath, plan.Seed)
+	return plan.Middleware, nil
+}

@@ -41,7 +41,17 @@ func main() {
 		parallelism  = flag.Int("parallelism", 0, "engine worker parallelism (0 = GOMAXPROCS)")
 		bins         = flag.Int("bins", 0, "default SSTA grid bins (0 = engine default; per-session override via the API)")
 		readyFile    = flag.String("ready-file", "", "write the bound address to this file once listening (for harnesses)")
+
+		noAdmission = flag.Bool("no-admission", false, "disable admission control (accept everything; overload becomes latency)")
+		querySlots  = flag.Int("query-slots", 0, "concurrent query-class requests (what-if/resize/checkpoint; 0 = default 64)")
+		heavySlots  = flag.Int("heavy-slots", 0, "concurrent heavy-class requests (open/analyze/optimize; 0 = default 8)")
+		queryQueue  = flag.Int("query-queue", 0, "query-class admission queue depth (0 = default 256)")
+		heavyQueue  = flag.Int("heavy-queue", 0, "heavy-class admission queue depth (0 = default 16)")
+		queueWait   = flag.Duration("queue-wait", 0, "max time an over-capacity request waits before 429 (0 = default 500ms)")
+		maxDeadline = flag.Duration("max-deadline", 0, "ceiling on per-request X-Deadline-Ms budgets (0 = default 2m, <0 disables)")
+		runLinger   = flag.Duration("run-linger", 0, "grace before a subscriber-less optimize run is canceled (0 = default 10s)")
 	)
+	registerFaultFlags()
 	flag.Parse()
 	log.SetPrefix("statsized: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -58,13 +68,26 @@ func main() {
 		log.Fatalf("engine: %v", err)
 	}
 
+	mw, err := faultMiddleware()
+	if err != nil {
+		log.Fatalf("fault plan: %v", err)
+	}
 	srv := server.New(eng, server.Config{
-		Addr:         *addr,
-		MaxSessions:  *maxSessions,
-		IdleTimeout:  *idleTimeout,
-		SweepEvery:   *sweepEvery,
-		MaxBodyBytes: *maxBody,
-		DrainTimeout: *drainTimeout,
+		Addr:             *addr,
+		MaxSessions:      *maxSessions,
+		IdleTimeout:      *idleTimeout,
+		SweepEvery:       *sweepEvery,
+		MaxBodyBytes:     *maxBody,
+		DrainTimeout:     *drainTimeout,
+		DisableAdmission: *noAdmission,
+		QuerySlots:       *querySlots,
+		HeavySlots:       *heavySlots,
+		QueryQueue:       *queryQueue,
+		HeavyQueue:       *heavyQueue,
+		QueueWait:        *queueWait,
+		MaxDeadline:      *maxDeadline,
+		RunLinger:        *runLinger,
+		Middleware:       mw,
 	})
 
 	served := make(chan error, 1)

@@ -5,6 +5,7 @@ package clean
 
 import (
 	"context"
+	"errors"
 
 	"statsize/internal/server"
 	"statsize/internal/session"
@@ -100,4 +101,36 @@ func DeferredClosureRelease(s *session.Session) error {
 		tx.Release()
 	}()
 	return tx.EnsureRequired(context.Background())
+}
+
+// ReleaseOnShedPath mirrors launchRun behind admission control: when
+// the run is refused after the lease is held (shed, conflict), the
+// lease is released before the error propagates; on success ownership
+// transfers into the run structure that the executor goroutine owns.
+func ReleaseOnShedPath(m *server.Manager, id string, shed bool, h *holder) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	if shed {
+		lease.Release()
+		return errors.New("shed: queue full")
+	}
+	h.l = lease
+	return nil
+}
+
+// RunOwnsLeaseUntilDone mirrors executeRun: the run goroutine receives
+// ownership through the structure and releases when the run finishes,
+// however it finishes.
+func RunOwnsLeaseUntilDone(m *server.Manager, id string, work func()) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	go func() {
+		defer lease.Release()
+		work()
+	}()
+	return nil
 }

@@ -86,3 +86,33 @@ func TxLeak(s *session.Session, bad bool) error {
 	tx.Release()
 	return nil
 }
+
+// ShedLeak acquires the lease before the admission decision and lets
+// the shed path escape with the refcount held — the session is pinned
+// against eviction by a request that was refused.
+func ShedLeak(m *server.Manager, id string, shed bool) error {
+	lease, err := m.Acquire(id) // want `\*server\.Lease "lease" can leak`
+	if err != nil {
+		return err
+	}
+	if shed {
+		return errors.New("shed: queue full")
+	}
+	lease.Release()
+	return nil
+}
+
+// ShedReleaseUnderDefer releases on the shed path under a defer that
+// will release again on the way out.
+func ShedReleaseUnderDefer(m *server.Manager, id string, shed bool) error {
+	lease, err := m.Acquire(id)
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	if shed {
+		lease.Release() // want `released twice`
+		return errors.New("shed: queue full")
+	}
+	return nil
+}

@@ -68,3 +68,57 @@ func BothArmsDone(w *writer, ok bool) {
 	}
 	w.event("done", -1, nil)
 }
+
+// ReconnectSkipsStart mirrors the reattach path: a client resuming a
+// run already saw start, so the frame is conditional — but every path
+// that opened a stream still ends in done.
+func ReconnectSkipsStart(w *writer, sentStart bool, events <-chan int) {
+	if !sentStart {
+		w.event("start", -1, nil)
+	}
+	for it := range events {
+		w.event("iter", it, nil)
+	}
+	w.event("done", -1, nil)
+}
+
+// TruncatedWriterStillTerminates mirrors streamRun against a failed
+// sseWriter: a mid-stream write failure breaks the drain loop, and the
+// terminal done is still attempted (a no-op on a dead writer, but the
+// grammar holds).
+func TruncatedWriterStillTerminates(w *writer, events <-chan int, failed func() bool) {
+	w.event("start", -1, nil)
+	for it := range events {
+		if failed() {
+			break
+		}
+		w.event("iter", it, nil)
+	}
+	w.event("done", -1, nil)
+}
+
+// GapRejectedBeforeStart mirrors the 410 history_gap reattach: the
+// resume is refused before any frame is written, so there is no open
+// stream to terminate.
+func GapRejectedBeforeStart(w *writer, gap bool) {
+	if gap {
+		return
+	}
+	w.event("start", -1, nil)
+	w.event("done", -1, nil)
+}
+
+// DeferredCancelOnDisconnect mirrors the detach path: the deferred
+// cleanup runs on every exit, and the done frame is emitted before the
+// drain loop can escape.
+func DeferredCancelOnDisconnect(w *writer, cancel func(), events <-chan int, disconnected func() bool) {
+	defer cancel()
+	w.event("start", -1, nil)
+	for it := range events {
+		if disconnected() {
+			break
+		}
+		w.event("iter", it, nil)
+	}
+	w.event("done", -1, nil)
+}

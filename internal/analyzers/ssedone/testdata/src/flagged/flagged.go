@@ -33,3 +33,29 @@ func BranchLeak(w *writer, ok bool) {
 	}
 	return // want `return escapes an open SSE stream`
 }
+
+// ReconnectGapLeak discovers the history gap after the stream is
+// already open and bails without the terminal frame — the reattaching
+// client hangs waiting for a done that never comes.
+func ReconnectGapLeak(w *writer, sentStart, gap bool) {
+	if !sentStart {
+		w.event("start", -1, nil)
+	}
+	if gap {
+		return // want `return escapes an open SSE stream`
+	}
+	w.event("done", -1, nil)
+}
+
+// TruncationAbortLeak treats a failed write as grounds to abandon the
+// stream grammar: the drain loop escapes without attempting done.
+func TruncationAbortLeak(w *writer, events <-chan int, failed func() bool) {
+	w.event("start", -1, nil)
+	for it := range events {
+		if failed() {
+			return // want `return escapes an open SSE stream`
+		}
+		w.event("iter", it, nil)
+	}
+	w.event("done", -1, nil)
+}

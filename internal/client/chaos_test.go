@@ -1,0 +1,364 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"statsize"
+	"statsize/internal/faultinject"
+	"statsize/internal/server"
+)
+
+// bootDaemon starts a real daemon on a loopback listener (chaos needs
+// real connections — httptest's in-process pipes never see resets) and
+// returns its base URL.
+func bootDaemon(t testing.TB, cfg server.Config, mw func(http.Handler) http.Handler) (*server.Server, string) {
+	t.Helper()
+	eng, err := statsize.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Logf = func(string, ...any) {}
+	s := server.New(eng, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if mw != nil {
+		h = mw(h)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		srv.Close()
+	})
+	return s, "http://" + l.Addr().String()
+}
+
+// countingTripper counts requests per path suffix under faults.
+type countingTripper struct {
+	inner    http.RoundTripper
+	optimize atomic.Int64
+}
+
+func (ct *countingTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(req.URL.Path, "/optimize") {
+		ct.optimize.Add(1)
+	}
+	return ct.inner.RoundTrip(req)
+}
+
+// TestOptimizeGoldenTraceThroughFaults is the acceptance bar for the
+// resilient stream: a fault plan that truncates and resets the optimize
+// stream repeatedly must not change what the client reconstructs — the
+// golden c432 trace, bit for bit, exactly as the unbroken stream test
+// in internal/server builds it.
+func TestOptimizeGoldenTraceThroughFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full 10-iteration optimize on c432; skipped with -short")
+	}
+	_, base := bootDaemon(t, server.Config{SweepEvery: time.Hour, RunLinger: 10 * time.Second}, nil)
+
+	plan := &faultinject.Plan{
+		Seed:     1905,
+		Reset:    &faultinject.ResetFault{P: 0.15},
+		Truncate: &faultinject.TruncateFault{P: 0.75, AfterBytes: 900},
+	}
+	ct := &countingTripper{inner: plan.Transport(nil)}
+	c, err := New(Config{
+		BaseURL:     base,
+		Transport:   ct,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  10 * time.Millisecond,
+		MaxRetries:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	sess, err := c.Open(ctx, &server.OpenSessionRequest{Design: "c432", Client: "golden-chaos", Bins: 400})
+	if err != nil {
+		t.Fatalf("open through faults: %v", err)
+	}
+
+	var events []Event
+	done, err := c.Optimize(ctx, sess.SessionID,
+		&server.OptimizeRequest{Optimizer: "accelerated", MaxIterations: 10},
+		func(ev Event) {
+			events = append(events, Event{Name: ev.Name, ID: ev.ID, Data: append([]byte(nil), ev.Data...)})
+		})
+	if err != nil {
+		t.Fatalf("optimize through faults: %v", err)
+	}
+	if done.Canceled || done.Error != "" {
+		t.Fatalf("run did not complete cleanly: %+v", done)
+	}
+	if n := ct.optimize.Load(); n < 2 {
+		t.Fatalf("stream survived with %d optimize connections; the fault plan should have broken it at least once", n)
+	}
+
+	if len(events) < 3 || events[0].Name != "start" || events[len(events)-1].Name != "done" {
+		t.Fatalf("reconstructed stream shape: %d events", len(events))
+	}
+	var start server.StartEvent
+	if err := json.Unmarshal(events[0].Data, &start); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# golden optimizer trace: %s %s (MaxIterations=10 Bins=400)\n", "c432", "accelerated")
+	fmt.Fprintf(&b, "initial %x %x\n", start.InitialObjective, start.InitialWidth)
+	for _, ev := range events[1 : len(events)-1] {
+		if ev.Name != "iter" {
+			t.Fatalf("unexpected mid-stream event %q", ev.Name)
+		}
+		var rec statsize.IterRecord
+		if err := json.Unmarshal(ev.Data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if ev.ID != rec.Iter {
+			t.Fatalf("SSE id %d does not match iteration %d", ev.ID, rec.Iter)
+		}
+		gates := make([]string, len(rec.Gates))
+		for i, g := range rec.Gates {
+			gates[i] = fmt.Sprint(g)
+		}
+		fmt.Fprintf(&b, "iter %d gates=%s sens=%x obj=%x width=%x considered=%d pruned=%d visited=%d\n",
+			rec.Iter, strings.Join(gates, ","), rec.Sensitivity, rec.Objective, rec.TotalWidth,
+			rec.CandidatesConsidered, rec.CandidatesPruned, rec.NodesVisited)
+	}
+	var de server.DoneEvent
+	if err := json.Unmarshal(events[len(events)-1].Data, &de); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "final %x %x\n", de.FinalObjective, de.FinalWidth)
+
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "traces", "c432_accelerated.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(want) {
+		gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := range gotLines {
+			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+				t.Fatalf("reconstructed trace diverges from golden at line %d:\n got  %q\n want %q",
+					i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
+			}
+		}
+		t.Fatalf("reconstructed trace diverges from golden (golden %d lines, got %d)",
+			len(wantLines), len(gotLines))
+	}
+}
+
+// TestChaosSoak drives concurrent sessions through a fault-injecting
+// transport and checks the daemon's hard invariants afterwards:
+//
+//   - no leaked leases: the manager's refcounts return to zero;
+//   - exact /stats accounting: transport faults either reach the daemon
+//     or they don't, so the clean-path success counts observed by the
+//     workers match the engine counters exactly;
+//   - every optimize stream the client completes delivers exactly one
+//     terminal done event;
+//   - no request ever surfaces a 500 (internal_panic) — closed sessions
+//     must answer with their sentinel codes, never a crash.
+//
+// Unary traffic runs fault-free while optimize streams run through
+// resets and truncation; client-side 5xx/reset faults never reach the
+// daemon, which is what keeps the accounting exact.
+func TestChaosSoak(t *testing.T) {
+	s, base := bootDaemon(t, server.Config{
+		MaxSessions: 16,
+		SweepEvery:  time.Hour,
+		RunLinger:   500 * time.Millisecond,
+		HeavySlots:  4,
+		QueueWait:   2 * time.Second,
+	}, nil)
+
+	before, err := mustClient(t, base).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := &faultinject.Plan{
+		Seed:     77,
+		Reset:    &faultinject.ResetFault{P: 0.1},
+		Truncate: &faultinject.TruncateFault{P: 0.5, AfterBytes: 700},
+	}
+
+	duration := 4 * time.Second
+	iterations := 4
+	if testing.Short() {
+		duration = 1500 * time.Millisecond
+		iterations = 2
+	}
+
+	var (
+		whatifs, resizes, checkpoints, rollbacks atomic.Int64
+		doneEvents, streamsCompleted             atomic.Int64
+		saw500                                   atomic.Int64
+	)
+	note500 := func(err error) {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusInternalServerError {
+			saw500.Add(1)
+		}
+	}
+
+	deadlineAt := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			clean := mustClient(t, base)
+			chaos, err := New(Config{
+				BaseURL:     base,
+				Transport:   plan.Transport(nil),
+				BackoffBase: time.Millisecond,
+				BackoffCap:  20 * time.Millisecond,
+				MaxRetries:  10,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			design := []string{"c17", "c432"}[w%2]
+			open := &server.OpenSessionRequest{Design: design, Client: "soak-" + strconv.Itoa(w), Bins: 200}
+			for round := 0; time.Now().Before(deadlineAt); round++ {
+				sess, err := clean.Open(ctx, open)
+				if err != nil {
+					t.Errorf("worker %d open: %v", w, err)
+					return
+				}
+				id := sess.SessionID
+				g := int64(round % 4)
+				width := 1.5 + 0.25*float64(w)
+
+				if _, err := clean.WhatIf(ctx, id, &server.WhatIfRequest{Gate: &g, Width: &width}); err == nil {
+					whatifs.Add(1)
+				} else {
+					note500(err)
+				}
+				if _, err := clean.Checkpoint(ctx, id); err == nil {
+					checkpoints.Add(1)
+				} else {
+					note500(err)
+				}
+				if _, err := clean.Resize(ctx, id, &server.ResizeRequest{Gate: g, Width: width}); err == nil {
+					resizes.Add(1)
+				} else {
+					note500(err)
+				}
+				if _, err := clean.Rollback(ctx, id); err == nil {
+					rollbacks.Add(1)
+				} else {
+					note500(err)
+				}
+
+				// One chaotic optimize per round: the stream runs through
+				// resets and truncation and must still end in exactly one
+				// done.
+				var dones int
+				done, err := chaos.Optimize(ctx, id,
+					&server.OptimizeRequest{Optimizer: "accelerated", MaxIterations: iterations},
+					func(ev Event) {
+						if ev.Name == "done" {
+							dones++
+						}
+					})
+				if err != nil {
+					note500(err)
+					var ae *APIError
+					if !errors.As(err, &ae) {
+						// Connection-level failure after retries; tolerable
+						// under chaos, the invariants below still hold.
+						continue
+					}
+					continue
+				}
+				if dones != 1 || done == nil {
+					t.Errorf("worker %d: stream delivered %d done events", w, dones)
+					return
+				}
+				doneEvents.Add(int64(dones))
+				streamsCompleted.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if saw500.Load() != 0 {
+		t.Fatalf("%d requests surfaced 500 internal_panic during the soak", saw500.Load())
+	}
+	if doneEvents.Load() != streamsCompleted.Load() {
+		t.Fatalf("%d done events across %d completed streams", doneEvents.Load(), streamsCompleted.Load())
+	}
+	if streamsCompleted.Load() == 0 {
+		t.Fatal("soak completed zero optimize streams")
+	}
+
+	// Let lingering runs expire and leases come home, then check the
+	// refcounts and the books.
+	waitUntil(t, 10*time.Second, func() bool {
+		return s.Manager().Stats().InFlight == 0
+	}, "leases still outstanding after the soak")
+
+	after, err := mustClient(t, base).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := after.Engine.WhatIfsServed-before.Engine.WhatIfsServed, whatifs.Load(); got != want {
+		t.Errorf("whatifs_served delta %d, want exactly %d client successes", got, want)
+	}
+	if got, want := after.Engine.Checkpoints-before.Engine.Checkpoints, checkpoints.Load(); got != want {
+		t.Errorf("checkpoints delta %d, want %d", got, want)
+	}
+	if got, want := after.Engine.Rollbacks-before.Engine.Rollbacks, rollbacks.Load(); got != want {
+		t.Errorf("rollbacks delta %d, want %d", got, want)
+	}
+	// Resizes: the workers' commits plus whatever the optimizer runs
+	// committed — bounded below by the workers' count.
+	if got := after.Engine.ResizesCommitted - before.Engine.ResizesCommitted; got < resizes.Load() {
+		t.Errorf("resizes_committed delta %d < %d worker commits", got, resizes.Load())
+	}
+}
+
+func mustClient(t testing.TB, base string) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: base, BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func waitUntil(t testing.TB, limit time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadlineAt := time.Now().Add(limit)
+	for !cond() {
+		if time.Now().After(deadlineAt) {
+			t.Fatal(msg)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,189 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParsePlanValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+	}{
+		{"empty plan", `{}`, true},
+		{"full plan", `{"seed":7,"latency":{"p":0.1,"min_ms":1,"max_ms":5},
+			"error":{"p":0.05,"status":503},"reset":{"p":0.02},
+			"truncate":{"p":0.1,"after_bytes":256},"exempt":["/healthz"]}`, true},
+		{"probability above one", `{"error":{"p":1.5}}`, false},
+		{"negative probability", `{"reset":{"p":-0.1}}`, false},
+		{"inverted latency window", `{"latency":{"p":0.5,"min_ms":10,"max_ms":1}}`, false},
+		{"non-5xx error status", `{"error":{"p":0.5,"status":404}}`, false},
+		{"negative truncate budget", `{"truncate":{"p":0.5,"after_bytes":-1}}`, false},
+		{"unknown field", `{"jitter":{"p":0.5}}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePlan([]byte(tc.src))
+			if (err == nil) != tc.ok {
+				t.Fatalf("ParsePlan(%s) err=%v, want ok=%v", tc.src, err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestDecisionsAreDeterministic pins the replayability contract: two
+// injectors built from the same plan make identical decisions request
+// for request.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	plan, err := ParsePlan([]byte(`{"seed":42,
+		"latency":{"p":0.3,"min_ms":1,"max_ms":9},
+		"error":{"p":0.2,"status":502},"reset":{"p":0.1},
+		"truncate":{"p":0.25,"after_bytes":128}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &injector{plan: plan}
+	b := &injector{plan: plan}
+	anyFault := false
+	for i := 0; i < 200; i++ {
+		da, db := a.decide(), b.decide()
+		if da != db {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, da, db)
+		}
+		if da.delay > 0 || da.errStatus != 0 || da.reset || da.truncAt > 0 {
+			anyFault = true
+		}
+	}
+	if !anyFault {
+		t.Fatal("200 requests against a faulty plan drew zero faults")
+	}
+
+	// A different seed draws a different sequence.
+	other := *plan
+	other.Seed = 43
+	c := &injector{plan: &other}
+	a2 := &injector{plan: plan}
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a2.decide() == c.decide() {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seed change did not alter the decision sequence")
+	}
+}
+
+func TestTransportInjectsErrorAndReset(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer upstream.Close()
+
+	alwaysErr := &Plan{Seed: 1, Error: &ErrorFault{P: 1, Status: 502}}
+	c := &http.Client{Transport: alwaysErr.Transport(nil)}
+	resp, err := c.Get(upstream.URL + "/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 502 || !strings.Contains(string(body), "injected") {
+		t.Fatalf("synthetic error: %d %s", resp.StatusCode, body)
+	}
+
+	alwaysReset := &Plan{Seed: 1, Reset: &ResetFault{P: 1}}
+	c = &http.Client{Transport: alwaysReset.Transport(nil)}
+	_, err = c.Get(upstream.URL + "/work")
+	if err == nil || !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("reset: err=%v, want ErrInjectedReset", err)
+	}
+}
+
+func TestTransportTruncatesBody(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer upstream.Close()
+
+	plan := &Plan{Seed: 1, Truncate: &TruncateFault{P: 1, AfterBytes: 100}}
+	c := &http.Client{Transport: plan.Transport(nil)}
+	resp, err := c.Get(upstream.URL + "/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated read err=%v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) != 100 {
+		t.Fatalf("read %d bytes before truncation, want 100", len(body))
+	}
+}
+
+func TestExemptPathsAreUntouched(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer upstream.Close()
+
+	plan := &Plan{Seed: 1, Error: &ErrorFault{P: 1}, Exempt: []string{"/healthz"}}
+	c := &http.Client{Transport: plan.Transport(nil)}
+	resp, err := c.Get(upstream.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exempt path faulted: %d", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareInjectsErrorAndAborts(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("y", 2048))
+	})
+
+	errPlan := &Plan{Seed: 1, Error: &ErrorFault{P: 1, Status: 500}}
+	ts := httptest.NewServer(errPlan.Middleware(inner))
+	resp, err := http.Get(ts.URL + "/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("middleware error: %d, want 500", resp.StatusCode)
+	}
+
+	resetPlan := &Plan{Seed: 1, Reset: &ResetFault{P: 1}}
+	ts = httptest.NewServer(resetPlan.Middleware(inner))
+	_, err = http.Get(ts.URL + "/work")
+	ts.Close()
+	if err == nil {
+		t.Fatal("middleware reset delivered a response")
+	}
+
+	truncPlan := &Plan{Seed: 1, Truncate: &TruncateFault{P: 1, AfterBytes: 64}}
+	ts = httptest.NewServer(truncPlan.Middleware(inner))
+	resp, err = http.Get(ts.URL + "/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ts.Close()
+	if readErr == nil {
+		t.Fatalf("truncated middleware stream read cleanly (%d bytes)", len(body))
+	}
+	if len(body) > 64 {
+		t.Fatalf("middleware let %d bytes through a 64-byte budget", len(body))
+	}
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Work classes for admission control. The daemon serves two very
+// different request shapes: cheap incremental queries (what-if, resize,
+// checkpoint/rollback, metadata) that finish in milliseconds, and
+// expensive work (session opens paying a fresh SSTA pass, analyze with
+// percentile sweeps, optimizer runs) that holds a session for seconds
+// to minutes. One shared limit would let either class starve the
+// other, so each gets its own weighted semaphore and bounded queue.
+type workClass int
+
+const (
+	classQuery workClass = iota
+	classHeavy
+	numClasses
+)
+
+func (c workClass) String() string {
+	if c == classHeavy {
+		return "heavy"
+	}
+	return "query"
+}
+
+// admitClass is one work class's semaphore plus queue accounting. The
+// slots channel is the semaphore (capacity = the class weight); queued
+// counts waiters parked on it, bounded by maxQueue. All fields are
+// channels or atomics — acquire runs on every request and must not
+// serialize the classes against each other.
+type admitClass struct {
+	name      string
+	slots     chan struct{}
+	maxQueue  int64
+	queueWait time.Duration
+
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	serviceNs atomic.Int64 // EWMA of observed service time, for Retry-After
+}
+
+// admission is the daemon's load shedder: a fixed set of work classes,
+// each admitting up to its weight concurrently and parking a short
+// bounded queue beyond that. Overflow — queue full or queue wait
+// exhausted — is shed immediately with a computed Retry-After, so under
+// overload rejections stay fast while admitted work keeps its latency.
+type admission struct {
+	enabled   bool
+	draining  func() bool // reports shutdown; shed everything with CodeDraining
+	drainHint time.Duration
+	classes   [numClasses]*admitClass
+}
+
+func newAdmission(cfg Config, draining func() bool) *admission {
+	a := &admission{
+		enabled:   !cfg.DisableAdmission,
+		draining:  draining,
+		drainHint: cfg.DrainTimeout,
+	}
+	mk := func(name string, slots, queue int) *admitClass {
+		return &admitClass{
+			name:      name,
+			slots:     make(chan struct{}, slots),
+			maxQueue:  int64(queue),
+			queueWait: cfg.QueueWait,
+		}
+	}
+	a.classes[classQuery] = mk("query", cfg.QuerySlots, cfg.QueryQueue)
+	a.classes[classHeavy] = mk("heavy", cfg.HeavySlots, cfg.HeavyQueue)
+	return a
+}
+
+// ticket is one admitted request's slot. Exactly one release per
+// ticket; the sync is a CAS so a handler that transfers the ticket to a
+// detached run and a deferred release cannot double-free the slot.
+type ticket struct {
+	c        *admitClass
+	start    time.Time
+	released atomic.Bool
+}
+
+// release frees the slot and folds the observed service time into the
+// class EWMA that prices Retry-After. Idempotent.
+func (t *ticket) release() {
+	if t == nil || !t.released.CompareAndSwap(false, true) {
+		return
+	}
+	t.c.observe(time.Since(t.start))
+	t.c.inFlight.Add(-1)
+	<-t.c.slots
+}
+
+// observe folds one service time into the EWMA (alpha = 1/8, integer
+// arithmetic on nanoseconds; a lossy race between concurrent updates
+// only blurs a heuristic).
+func (c *admitClass) observe(d time.Duration) {
+	old := c.serviceNs.Load()
+	if old == 0 {
+		c.serviceNs.Store(int64(d))
+		return
+	}
+	c.serviceNs.Store(old + (int64(d)-old)/8)
+}
+
+// retryAfter estimates when a slot should free up: the current backlog
+// (queue plus one for the caller) times the EWMA service time, spread
+// over the class's slots. Clamped to [1s, 60s] — it is a hint, not a
+// promise.
+func (c *admitClass) retryAfter() time.Duration {
+	svc := time.Duration(c.serviceNs.Load())
+	if svc <= 0 {
+		svc = 50 * time.Millisecond
+	}
+	backlog := c.queued.Load() + 1
+	est := time.Duration(backlog) * svc / time.Duration(cap(c.slots))
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// acquire admits one request in class cl, blocking in the bounded
+// admission queue for at most the configured wait (and never past the
+// request's deadline). On success the caller owns the returned ticket
+// and must release it exactly once. On rejection the apiError carries
+// the cause-specific code and Retry-After.
+func (a *admission) acquire(ctx context.Context, cl workClass) (*ticket, *apiError) {
+	if a.draining() {
+		return nil, &apiError{
+			Status: http.StatusServiceUnavailable, Code: CodeDraining,
+			Message:     "daemon is draining; retry against another replica",
+			RetryAfterS: retryAfterSeconds(a.drainHint),
+		}
+	}
+	if !a.enabled {
+		return nil, nil
+	}
+	c := a.classes[cl]
+	select {
+	case c.slots <- struct{}{}:
+		return c.admitLocked(), nil
+	default:
+	}
+	// Slots are full: join the bounded queue, or shed.
+	if q := c.queued.Add(1); q > c.maxQueue {
+		c.queued.Add(-1)
+		return nil, c.shedError("admission queue full")
+	}
+	defer c.queued.Add(-1)
+	wait := time.NewTimer(c.queueWait)
+	defer wait.Stop()
+	select {
+	case c.slots <- struct{}{}:
+		return c.admitLocked(), nil
+	case <-wait.C:
+		return nil, c.shedError("admission queue wait exhausted")
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, &apiError{
+				Status: http.StatusGatewayTimeout, Code: CodeDeadlineExpired,
+				Message: "request deadline expired while queued for admission",
+			}
+		}
+		return nil, &apiError{Status: statusClientGone, Code: "canceled",
+			Message: "client went away while queued for admission"}
+	}
+}
+
+// admitLocked finishes an acquire that already holds a slot.
+func (c *admitClass) admitLocked() *ticket {
+	c.inFlight.Add(1)
+	c.admitted.Add(1)
+	return &ticket{c: c, start: time.Now()}
+}
+
+// shedError builds the 429 overload rejection for class c.
+func (c *admitClass) shedError(why string) *apiError {
+	c.shed.Add(1)
+	return &apiError{
+		Status: http.StatusTooManyRequests, Code: CodeShed,
+		Message:     c.name + " class overloaded: " + why,
+		RetryAfterS: retryAfterSeconds(c.retryAfter()),
+	}
+}
+
+// health snapshots the controller for /healthz.
+func (a *admission) health() *AdmissionHealth {
+	h := &AdmissionHealth{Enabled: a.enabled}
+	if !a.enabled {
+		return h
+	}
+	h.Classes = make(map[string]ClassHealth, numClasses)
+	for _, c := range a.classes {
+		h.Classes[c.name] = ClassHealth{
+			InFlight: int(c.inFlight.Load()),
+			Slots:    cap(c.slots),
+			Queued:   int(c.queued.Load()),
+			Queue:    int(c.maxQueue),
+			Admitted: c.admitted.Load(),
+			Shed:     c.shed.Load(),
+		}
+	}
+	return h
+}
+
+// statusClientGone is the non-standard 499 nginx popularized for
+// "client closed request": the response is never read, but the access
+// log should not call an abandoned request a server error.
+const statusClientGone = 499
+
+// admit wraps next with admission control for class cl. The ticket is
+// released when the handler returns; handlers that outlive their
+// request (detached optimize runs) take ownership explicitly instead of
+// going through this wrapper.
+func (s *Server) admit(cl workClass, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, aerr := s.adm.acquire(r.Context(), cl)
+		if aerr != nil {
+			writeError(w, aerr)
+			return
+		}
+		defer t.release()
+		next(w, r)
+	}
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// parseDeadline reads the X-Deadline-Ms header: the client's remaining
+// budget for this request in milliseconds. Absent means no deadline
+// (the server max still applies when configured). A budget that is
+// already spent (<= 0) is rejected here, before any work — the session
+// lock is too expensive a place to discover the client stopped caring.
+func parseDeadline(r *http.Request, max time.Duration) (time.Duration, *apiError) {
+	h := r.Header.Get(HeaderDeadlineMs)
+	if h == "" {
+		return max, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return 0, badRequest("bad_deadline", "%s %q is not an integer millisecond count", HeaderDeadlineMs, h)
+	}
+	if ms <= 0 {
+		return 0, &apiError{
+			Status: http.StatusRequestTimeout, Code: CodeDeadlineExpired,
+			Message: "request deadline already expired on arrival; nothing was attempted",
+		}
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if max > 0 && d > max {
+		d = max // the server's ceiling wins; the client learns via 504 timing
+	}
+	return d, nil
+}
+
+// withDeadline threads the per-request deadline into the handler
+// context so the Engine's partial-result cancellation actually fires:
+// an expiring what-if batch or resize observes ctx.Done inside the
+// propagation loops (the ctxflow contract) and unwinds all-or-nothing.
+// Runs before admission so time spent queued burns the same budget.
+func (s *Server) withDeadline(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d, aerr := parseDeadline(r, s.cfg.MaxDeadline)
+		if aerr != nil {
+			writeError(w, aerr)
+			return
+		}
+		if d <= 0 {
+			next(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}

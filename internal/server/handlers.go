@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,20 +19,35 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body) // a failed write means the client left; nothing to do
 }
 
-// writeError emits the error envelope for any handler failure.
+// writeError emits the error envelope for any handler failure. A
+// rejection carrying a retry hint mirrors it into the Retry-After
+// header so proxies and plain HTTP clients see it without parsing the
+// body.
 func writeError(w http.ResponseWriter, err *apiError) {
 	w.Header().Set("Content-Type", "application/json")
+	if err.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(err.RetryAfterS))
+	}
 	w.WriteHeader(err.Status)
 	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: err})
 }
 
 // toAPIError normalizes every failure class a handler can see into an
 // apiError with the right status: pool errors to 404/410/503, session
-// sentinel errors to 410/409, apiErrors pass through, everything else
-// is a 400 (the session layer validates inputs and its errors describe
-// client mistakes — bad gate ids, bad widths).
+// sentinel errors to 410/409, context errors to 504/499 (a request
+// deadline expiring mid-work surfaces the partial-cancellation
+// contract, not a client mistake), apiErrors pass through, everything
+// else is a 400 (the session layer validates inputs and its errors
+// describe client mistakes — bad gate ids, bad widths). A
+// retryAfterError wrapper contributes its hint to whatever the
+// underlying error maps to.
 func toAPIError(err error) *apiError {
 	var ae *apiError
+	var ra *retryAfterError
+	retryAfter := 0
+	if errors.As(err, &ra) {
+		retryAfter = retryAfterSeconds(ra.after)
+	}
 	switch {
 	case errors.As(err, &ae):
 		return ae
@@ -40,7 +56,13 @@ func toAPIError(err error) *apiError {
 	case errors.Is(err, ErrSessionGone):
 		return &apiError{Status: http.StatusGone, Code: "session_gone", Message: err.Error()}
 	case errors.Is(err, ErrPoolFull):
-		return &apiError{Status: http.StatusServiceUnavailable, Code: "pool_full", Message: err.Error()}
+		return &apiError{Status: http.StatusServiceUnavailable, Code: CodePoolFull,
+			Message: err.Error(), RetryAfterS: retryAfter}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: CodeDeadlineExpired,
+			Message: "request deadline expired mid-work; partial mutations were rolled back"}
+	case errors.Is(err, context.Canceled):
+		return &apiError{Status: statusClientGone, Code: "canceled", Message: err.Error()}
 	case errors.Is(err, statsize.ErrSessionClosed):
 		return &apiError{Status: http.StatusGone, Code: "session_closed", Message: err.Error()}
 	case errors.Is(err, statsize.ErrNoCheckpoint):
@@ -53,20 +75,34 @@ func toAPIError(err error) *apiError {
 // sessionErr wraps a session-layer error for an already-leased handle.
 func sessionErr(err error) *apiError { return toAPIError(err) }
 
-// routes builds the daemon's mux.
+// routes builds the daemon's mux. Every work route runs behind the
+// deadline middleware (X-Deadline-Ms threads into the handler context,
+// pre-expired budgets rejected before any work) and then admission
+// control in its work class: session opens, analyze, and optimize are
+// the expensive class (a fresh SSTA pass, percentile sweeps, optimizer
+// runs); everything else is the cheap query class. /healthz and /stats
+// bypass both — load balancers must reach them during overload, which
+// is exactly when they matter.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /v1/sessions", s.handleOpenSession)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
-	mux.HandleFunc("POST /v1/sessions/{id}/analyze", s.withLease(s.handleAnalyze))
-	mux.HandleFunc("POST /v1/sessions/{id}/whatif", s.withLease(s.handleWhatIf))
-	mux.HandleFunc("POST /v1/sessions/{id}/resize", s.withLease(s.handleResize))
-	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.withLease(s.handleCheckpoint))
-	mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.withLease(s.handleRollback))
-	mux.HandleFunc("POST /v1/sessions/{id}/optimize", s.withLease(s.handleOptimize))
+	query := func(h http.HandlerFunc) http.HandlerFunc { return s.withDeadline(s.admit(classQuery, h)) }
+	heavy := func(h http.HandlerFunc) http.HandlerFunc { return s.withDeadline(s.admit(classHeavy, h)) }
+	mux.HandleFunc("POST /v1/sessions", heavy(s.handleOpenSession))
+	mux.HandleFunc("GET /v1/sessions/{id}", query(s.handleSessionInfo))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", query(s.handleCloseSession))
+	mux.HandleFunc("POST /v1/sessions/{id}/analyze", heavy(s.withLease(s.handleAnalyze)))
+	mux.HandleFunc("POST /v1/sessions/{id}/whatif", query(s.withLease(s.handleWhatIf)))
+	mux.HandleFunc("POST /v1/sessions/{id}/resize", query(s.withLease(s.handleResize)))
+	mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", query(s.withLease(s.handleCheckpoint)))
+	mux.HandleFunc("POST /v1/sessions/{id}/rollback", query(s.withLease(s.handleRollback)))
+	// Optimize manages its own admission: a fresh run's heavy-class
+	// ticket transfers to the detached run (released when the optimizer
+	// finishes, not when the originating request ends), and stream
+	// reattachment is ungated so a draining daemon can still deliver
+	// terminal done events to reconnecting clients.
+	mux.HandleFunc("POST /v1/sessions/{id}/optimize", s.withDeadline(s.handleOptimize))
 	return mux
 }
 
@@ -94,9 +130,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	default:
 	}
 	writeJSON(w, code, &HealthResponse{
-		Status:   status,
-		UptimeS:  s.clock().Sub(s.started).Seconds(),
-		GoDesign: "statsized",
+		Status:    status,
+		UptimeS:   s.clock().Sub(s.started).Seconds(),
+		GoDesign:  "statsized",
+		Admission: s.adm.health(),
 	})
 }
 
@@ -275,7 +312,39 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request, lease *L
 	writeJSON(w, http.StatusOK, &CheckpointResponse{Depth: depth})
 }
 
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request, lease *Lease) {
+// handleOptimize starts a detached optimizer run and streams it, or —
+// when X-Run-Id names an existing run — reattaches to that run's event
+// history, resuming after the Last-Event-ID iteration. Reattachment is
+// deliberately cheap: no admission ticket, no session lease (replay
+// reads recorded bytes), so a client recovering from a truncated
+// stream is never shed behind the very overload that broke it.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if runID := r.Header.Get(HeaderRunID); runID != "" {
+		// Iteration ids start at 0, so "no Last-Event-ID" is -1 (full
+		// replay), distinct from "I saw iteration 0".
+		lastIter := -1
+		if h := r.Header.Get(HeaderLastEventID); h != "" {
+			n, err := strconv.Atoi(h)
+			if err != nil || n < 0 {
+				writeError(w, badRequest("bad_last_event_id", "%s %q is not a non-negative iteration index", HeaderLastEventID, h))
+				return
+			}
+			lastIter = n
+		}
+		rn, aerr := s.runs.find(r.PathValue("id"), runID)
+		if aerr != nil {
+			writeError(w, aerr)
+			return
+		}
+		cur, aerr := rn.resume(lastIter)
+		if aerr != nil {
+			writeError(w, aerr)
+			return
+		}
+		s.streamRun(w, r, rn, cur)
+		return
+	}
+
 	var req OptimizeRequest
 	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, err)
@@ -285,7 +354,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request, lease *L
 		writeError(w, err)
 		return
 	}
-	s.streamOptimize(w, r, lease, &req)
+	t, aerr := s.adm.acquire(r.Context(), classHeavy)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	rn, aerr := s.launchRun(r, t, &req)
+	if aerr != nil {
+		t.release() // shed or failed launch: give the slot back before erroring
+		writeError(w, aerr)
+		return
+	}
+	s.streamRun(w, r, rn, &runCursor{})
 }
 
 // recoverMiddleware turns a handler panic into a 500 instead of

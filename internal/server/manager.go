@@ -151,7 +151,10 @@ func (m *Manager) OpenOrAttach(ctx context.Context, req *OpenSessionRequest) (*L
 	if len(m.byID) >= m.cfg.MaxSessions && !m.evictOneLocked() {
 		m.mu.Unlock()
 		e.sess.Close()
-		return nil, nil, ErrPoolFull
+		// Every slot is leased by an in-flight request; slots free as
+		// soon as any of them finishes, so the honest hint is "shortly"
+		// — one second, the Retry-After floor.
+		return nil, nil, &retryAfterError{err: ErrPoolFull, after: time.Second}
 	}
 	m.seq++
 	e.id = fmt.Sprintf("s%06d-%s", m.seq, sanitizeID(req.Design))

@@ -37,6 +37,50 @@ type Config struct {
 	// Logf sinks operational messages (default log.Printf); set to a
 	// no-op in tests.
 	Logf func(format string, args ...any)
+
+	// Admission control. Two weighted work classes bound how much the
+	// daemon accepts at once: the query class (what-if, resize,
+	// checkpoint/rollback, metadata) and the heavy class (session
+	// opens, analyze, optimizer runs). Each class admits up to its
+	// slot count concurrently and parks a bounded queue beyond that;
+	// overflow is shed fast with 429 and a computed Retry-After.
+	DisableAdmission bool
+	// QuerySlots caps concurrently executing query-class requests
+	// (default 64).
+	QuerySlots int
+	// HeavySlots caps concurrently executing heavy-class requests
+	// (default 8).
+	HeavySlots int
+	// QueryQueue / HeavyQueue bound the per-class admission queues
+	// (defaults 256 and 16).
+	QueryQueue int
+	HeavyQueue int
+	// QueueWait bounds how long an over-capacity request may wait for
+	// a slot before it is shed (default 500ms) — the queue absorbs
+	// bursts, it does not hide sustained overload.
+	QueueWait time.Duration
+
+	// MaxDeadline clamps the per-request X-Deadline-Ms budget (and
+	// applies to requests that send none). Default 2m; negative
+	// disables the ceiling.
+	MaxDeadline time.Duration
+	// SSEWriteTimeout is the per-event write budget on optimize
+	// streams: a reader that cannot absorb one event within it is
+	// treated as disconnected. Default 15s; negative disables.
+	SSEWriteTimeout time.Duration
+	// RunLinger is how long a detached optimize run survives without
+	// any subscriber (cancel-on-disconnect grace) and how long its
+	// recorded history stays attachable after it finishes. Default 10s.
+	RunLinger time.Duration
+	// RunHistory caps the retained iter events per run; reconnecting
+	// past the window yields 410 history_gap. Default 4096.
+	RunHistory int
+
+	// Middleware, when non-nil, wraps the daemon's full HTTP surface
+	// (outside the panic recoverer, so an aborting middleware reaches
+	// net/http directly). The faultinject build of statsized installs
+	// its chaos middleware here; nil in production.
+	Middleware func(http.Handler) http.Handler
 }
 
 // normalize fills defaults.
@@ -65,6 +109,39 @@ func (c Config) normalize() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.QuerySlots <= 0 {
+		c.QuerySlots = 64
+	}
+	if c.HeavySlots <= 0 {
+		c.HeavySlots = 8
+	}
+	if c.QueryQueue <= 0 {
+		c.QueryQueue = 256
+	}
+	if c.HeavyQueue <= 0 {
+		c.HeavyQueue = 16
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 500 * time.Millisecond
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxDeadline < 0 {
+		c.MaxDeadline = 0 // disabled
+	}
+	if c.SSEWriteTimeout == 0 {
+		c.SSEWriteTimeout = 15 * time.Second
+	}
+	if c.SSEWriteTimeout < 0 {
+		c.SSEWriteTimeout = 0 // disabled
+	}
+	if c.RunLinger <= 0 {
+		c.RunLinger = 10 * time.Second
+	}
+	if c.RunHistory <= 0 {
+		c.RunHistory = 4096
+	}
 	return c
 }
 
@@ -85,6 +162,13 @@ type Server struct {
 	streamCtx     context.Context
 	cancelStreams context.CancelFunc
 
+	// adm is the load shedder; runs tracks detached optimize runs and
+	// runWG counts their goroutines so Shutdown can wait for leases
+	// and admission slots to come home.
+	adm   *admission
+	runs  *runRegistry
+	runWG sync.WaitGroup
+
 	janitorStop  chan struct{}
 	janitorDone  chan struct{}
 	shutdownOnce sync.Once
@@ -101,7 +185,19 @@ func New(eng *statsize.Engine, cfg Config) *Server {
 		clock:   time.Now,
 	}
 	s.streamCtx, s.cancelStreams = context.WithCancel(context.Background())
+	s.adm = newAdmission(cfg, func() bool {
+		select {
+		case <-s.streamCtx.Done():
+			return true
+		default:
+			return false
+		}
+	})
+	s.runs = newRunRegistry()
 	s.handler = recoverMiddleware(s.routes())
+	if cfg.Middleware != nil {
+		s.handler = cfg.Middleware(s.handler)
+	}
 	s.httpSrv = &http.Server{
 		Handler: s.handler,
 		// No WriteTimeout: optimize streams are legitimately long-lived.
@@ -185,6 +281,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			// Drain deadline exceeded: sever the remaining connections.
 			closeErr := s.httpSrv.Close()
 			err = errors.Join(fmt.Errorf("statsized: drain incomplete: %w", err), closeErr)
+		}
+		// Detached optimize runs outlive their HTTP requests; their
+		// contexts are canceled above, so they finish within one unit
+		// of optimizer work and give their leases back.
+		runsDone := make(chan struct{})
+		go func() { s.runWG.Wait(); close(runsDone) }()
+		select {
+		case <-runsDone:
+		case <-drainCtx.Done():
+			err = errors.Join(err, fmt.Errorf("statsized: optimize runs still draining at deadline"))
 		}
 		s.mgr.CloseAll()
 		<-s.janitorDone

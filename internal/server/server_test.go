@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -443,7 +444,7 @@ func TestPoolFullWhenAllLeased(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, _, err = m.OpenOrAttach(ctx, &OpenSessionRequest{Design: "c17", Client: "other", Bins: 120})
-	if err != ErrPoolFull {
+	if !errors.Is(err, ErrPoolFull) {
 		t.Fatalf("open with a fully-leased pool: %v, want ErrPoolFull", err)
 	}
 	lease.Release()

@@ -1,13 +1,11 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-
-	"statsize"
+	"time"
 )
 
 // sseWriter frames server-sent events. The grammar is deliberately
@@ -19,30 +17,44 @@ import (
 //	event: done    data: DoneEvent         — once, terminal
 //
 // Iteration events carry an SSE id field with the iteration number so
-// a client can tell where a broken stream stopped (the daemon does not
-// resume streams; the id is diagnostic).
+// a broken stream can resume: the client reconnects with X-Run-Id and
+// Last-Event-ID and replay continues after that iteration.
+//
+// Every frame is written under a per-event write deadline: a reader
+// that stalls (dead TCP peer, saturated proxy) fails the write within
+// the budget instead of blocking the subscriber forever — the failure
+// detaches the subscriber, and the run's linger watchdog cancels an
+// abandoned run. This is the mechanism that keeps a stalled reader
+// from pinning an optimize run and its session lease.
 type sseWriter struct {
-	w      http.ResponseWriter
-	flush  func()
-	failed bool // a write failed (client gone); subsequent writes no-op
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration // per-event write budget; 0 disables
+	flush   func()
+	failed  bool // a write failed (client gone); subsequent writes no-op
 }
 
-func newSSEWriter(w http.ResponseWriter) *sseWriter {
+func newSSEWriter(w http.ResponseWriter, timeout time.Duration) *sseWriter {
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
-	sw := &sseWriter{w: w, flush: func() {}}
+	sw := &sseWriter{w: w, rc: http.NewResponseController(w), timeout: timeout, flush: func() {}}
 	if f, ok := w.(http.Flusher); ok {
 		sw.flush = f.Flush
 	}
 	return sw
 }
 
+// fail marks the connection dead; every later event call is a no-op.
+// Idempotent, so disconnect detection (write error, request context
+// cancellation) and the final done emission compose without fuss.
+func (sw *sseWriter) fail() { sw.failed = true }
+
 // event writes one frame; id < 0 omits the id field. Write errors mark
-// the writer failed — the caller keeps draining its producer (bounded
-// by cancellation) but stops touching the dead connection.
+// the writer failed — the subscriber loop detaches but stops touching
+// the dead connection.
 func (sw *sseWriter) event(name string, id int, payload any) {
 	if sw.failed {
 		return
@@ -52,128 +64,67 @@ func (sw *sseWriter) event(name string, id int, payload any) {
 		// Payloads are our own wire structs; a marshal failure is a
 		// programming error, but a broken stream must not panic the
 		// daemon mid-response.
-		sw.failed = true
+		sw.fail()
 		return
+	}
+	if sw.timeout > 0 {
+		// Recorders and exotic ResponseWriters may not support write
+		// deadlines (ErrNotSupported); the event still goes out, just
+		// without the stall bound.
+		if err := sw.rc.SetWriteDeadline(time.Now().Add(sw.timeout)); err != nil &&
+			!errors.Is(err, http.ErrNotSupported) {
+			sw.fail()
+			return
+		}
 	}
 	if id >= 0 {
 		if _, err := fmt.Fprintf(sw.w, "id: %d\n", id); err != nil {
-			sw.failed = true
+			sw.fail()
 			return
 		}
 	}
 	if _, err := fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
-		sw.failed = true
+		sw.fail()
 		return
 	}
 	sw.flush()
 }
 
-// streamOptimize runs the named optimizer on the leased session and
-// streams progress. The run context is the request context bounded by
-// the server's stream context, so both a departing client and a daemon
-// shutdown cancel the optimizer between iterations (the ctxflow
-// contract bounds that latency to one unit of work); the terminal done
-// event then reports the partial run with Canceled set.
-func (s *Server) streamOptimize(w http.ResponseWriter, r *http.Request, lease *Lease, req *OptimizeRequest) {
-	sess := lease.Session()
-
-	// The pre-run state for the start event. Another lease holder could
-	// mutate between these queries and the run; that is the documented
-	// cost of pooled sessions, and single-writer clients (the load
-	// generator, the golden replay test) see exact values.
-	initObj, err := sess.Objective()
-	if err != nil {
-		writeError(w, sessionErr(err))
-		return
-	}
-	initW, err := sess.TotalWidth()
-	if err != nil {
-		writeError(w, sessionErr(err))
-		return
-	}
-
-	runCtx, cancel := mergeDone(r.Context(), s.streamCtx)
-	defer cancel()
-
-	sw := newSSEWriter(w)
-	sw.event("start", -1, &StartEvent{
-		SessionID:        lease.ID(),
-		Design:           lease.Design(),
-		Optimizer:        req.Optimizer,
-		Objective:        lease.ObjectiveName(),
-		InitialObjective: initObj,
-		InitialWidth:     initW,
-	})
-
-	events := make(chan statsize.IterRecord, 16)
-	type outcome struct {
-		res *statsize.Result
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		opts := []statsize.RunOption{
-			statsize.OnIteration(func(rec statsize.IterRecord) {
-				select {
-				case events <- rec:
-				case <-runCtx.Done():
-				}
-			}),
+// streamRun subscribes one HTTP response to a run's event history:
+// replay everything past the cursor, then follow the live run until
+// its terminal done event. The subscriber detaches when the client
+// goes away — request context canceled or a write failed under its
+// deadline — and the deferred detach arms the run's
+// cancel-on-disconnect watchdog; the run itself keeps executing
+// through the linger window so the client can reconnect and resume.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, rn *optRun, cur *runCursor) {
+	sw := newSSEWriter(w, s.cfg.SSEWriteTimeout)
+	rn.attach()
+	defer rn.detach()
+	for !sw.failed {
+		evs, wait, gap := rn.collect(cur)
+		if gap {
+			// This subscriber fell behind the history window; only a
+			// reconnect (which will see history_gap) can tell it.
+			sw.fail()
+			break
 		}
-		if req.MaxIterations > 0 {
-			opts = append(opts, statsize.MaxIterations(req.MaxIterations))
-		}
-		if req.MaxAreaIncrease > 0 {
-			opts = append(opts, statsize.MaxAreaIncrease(req.MaxAreaIncrease))
-		}
-		if req.MultiSize > 0 {
-			opts = append(opts, statsize.MultiSize(req.MultiSize))
-		}
-		if obj := lease.Objective(); obj != nil {
-			opts = append(opts, statsize.ForObjective(obj))
-		}
-		res, err := s.eng.OptimizeSession(runCtx, sess, req.Optimizer, opts...)
-		close(events)
-		done <- outcome{res: res, err: err}
-	}()
-
-drain:
-	for {
-		select {
-		case rec, ok := <-events:
-			if !ok {
-				break drain
+		terminal := false
+		for _, ev := range evs {
+			sw.event(ev.name, ev.id, ev.data)
+			if ev.name == "done" {
+				terminal = true
 			}
-			sw.event("iter", rec.Iter, rec)
-		case <-runCtx.Done():
-			// Stop forwarding; the optimizer observes the same context
-			// and returns shortly with its partial result.
-			break drain
+		}
+		if terminal || sw.failed {
+			break
+		}
+		if wait != nil {
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				sw.fail()
+			}
 		}
 	}
-	out := <-done
-
-	ev := DoneEvent{Canceled: errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded)}
-	if out.err != nil && !ev.Canceled {
-		ev.Error = out.err.Error()
-	} else if ev.Canceled {
-		ev.Error = "run canceled"
-	}
-	if res := out.res; res != nil {
-		ev.Iterations = res.Iterations
-		ev.FinalObjective = res.FinalObjective
-		ev.FinalWidth = res.FinalWidth
-		ev.ImprovementPct = res.Improvement()
-		ev.AreaIncreasePct = res.AreaIncrease()
-		ev.ElapsedNS = res.Elapsed.Nanoseconds()
-	}
-	sw.event("done", -1, &ev)
-}
-
-// mergeDone derives a context canceled when either parent is: the
-// child of a, with an AfterFunc watcher propagating b's cancellation.
-func mergeDone(a, b context.Context) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithCancel(a)
-	stop := context.AfterFunc(b, cancel)
-	return ctx, func() { stop(); cancel() }
 }

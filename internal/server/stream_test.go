@@ -79,7 +79,7 @@ func collectSSE(t testing.TB, body []byte) []sseEvent {
 // TestSSEWriterFraming pins the wire framing of the three event kinds.
 func TestSSEWriterFraming(t *testing.T) {
 	rec := httptest.NewRecorder()
-	sw := newSSEWriter(rec)
+	sw := newSSEWriter(rec, 0)
 	sw.event("start", -1, map[string]int{"a": 1})
 	sw.event("iter", 3, map[string]int{"b": 2})
 	want := "event: start\ndata: {\"a\":1}\n\n" +

@@ -30,6 +30,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"time"
 
 	"statsize"
 )
@@ -52,13 +53,73 @@ const (
 // apiError is a request-terminating error with an HTTP status. The
 // handlers map every failure to one of these; anything else escaping a
 // handler is a 500 (and a bug — the fuzz suite hunts for them).
+//
+// Rejections the client can act on carry extra fields: RetryAfterS
+// mirrors the Retry-After header (writeError sets both from the same
+// value), and RunID names the already-active optimize run behind a
+// run_active conflict so a client that lost its stream before the
+// start event can still attach.
 type apiError struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Status      int    `json:"-"`
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+	RunID       string `json:"run_id,omitempty"`
 }
 
 func (e *apiError) Error() string { return e.Code + ": " + e.Message }
+
+// Rejection codes for the overload and lifecycle paths. Every cause a
+// load balancer or retrying client distinguishes has its own code:
+//
+//	pool_full        503 — every session slot is leased; Retry-After set
+//	shed             429 — admission queue overflowed or timed out; Retry-After set
+//	deadline_expired 408/504 — the X-Deadline-Ms budget was already spent
+//	                 (408, rejected before any work) or ran out mid-request (504)
+//	draining         503 — the daemon is shutting down; Retry-After set
+//	run_active       409 — an optimize run is already streaming on the session
+const (
+	CodePoolFull        = "pool_full"
+	CodeShed            = "shed"
+	CodeDeadlineExpired = "deadline_expired"
+	CodeDraining        = "draining"
+	CodeRunActive       = "run_active"
+)
+
+// Resilience protocol headers.
+const (
+	// HeaderDeadlineMs carries the client's remaining per-request budget
+	// in milliseconds; the server clamps it to Config.MaxDeadline and
+	// threads it into the handler context.
+	HeaderDeadlineMs = "X-Deadline-Ms"
+	// HeaderRunID targets an existing optimize run when reattaching to
+	// its event stream.
+	HeaderRunID = "X-Run-Id"
+	// HeaderLastEventID carries the last iteration index a reconnecting
+	// stream consumer received; replay resumes after it.
+	HeaderLastEventID = "Last-Event-ID"
+)
+
+// retryAfterError decorates a sentinel error with a retry hint; the
+// manager uses it so ErrPoolFull keeps working with errors.Is while the
+// HTTP layer surfaces a concrete Retry-After.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// retryAfterSeconds rounds a wait hint up to whole seconds (the
+// Retry-After header's granularity), never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
 
 // errorEnvelope is the JSON body of every non-2xx response.
 type errorEnvelope struct {
@@ -167,8 +228,11 @@ type OptimizeRequest struct {
 }
 
 // StartEvent is the SSE "start" event payload: the session state the
-// run began from.
+// run began from. RunID names the run for stream reattachment: a client
+// whose stream breaks mid-run reconnects with X-Run-Id and
+// Last-Event-ID and replay resumes after the last iteration it saw.
 type StartEvent struct {
+	RunID            string  `json:"run_id"`
 	SessionID        string  `json:"session_id"`
 	Design           string  `json:"design"`
 	Optimizer        string  `json:"optimizer"`
@@ -191,11 +255,31 @@ type DoneEvent struct {
 	Error           string  `json:"error,omitempty"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. Beyond liveness it reports the
+// admission controller's overload state — queue depth and inflight per
+// work class — so a load balancer can steer traffic away from a busy
+// replica before requests start shedding.
 type HealthResponse struct {
-	Status   string  `json:"status"` // "ok", or "draining" during shutdown
-	UptimeS  float64 `json:"uptime_s"`
-	GoDesign string  `json:"service"` // constant "statsized"
+	Status    string           `json:"status"` // "ok", or "draining" during shutdown
+	UptimeS   float64          `json:"uptime_s"`
+	GoDesign  string           `json:"service"` // constant "statsized"
+	Admission *AdmissionHealth `json:"admission,omitempty"`
+}
+
+// AdmissionHealth is the admission controller's /healthz snapshot.
+type AdmissionHealth struct {
+	Enabled bool                   `json:"enabled"`
+	Classes map[string]ClassHealth `json:"classes,omitempty"`
+}
+
+// ClassHealth is one work class's live occupancy.
+type ClassHealth struct {
+	InFlight int   `json:"in_flight"` // admitted requests currently executing
+	Slots    int   `json:"slots"`     // admission semaphore capacity
+	Queued   int   `json:"queued"`    // waiters in the admission queue right now
+	Queue    int   `json:"queue"`     // admission queue capacity
+	Admitted int64 `json:"admitted"`  // requests ever admitted
+	Shed     int64 `json:"shed"`      // requests rejected for overload
 }
 
 // StatsResponse is the /stats body: the engine-wide rollup plus the
