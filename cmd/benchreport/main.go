@@ -3,7 +3,7 @@
 // plus any custom metrics) — the per-PR perf trajectory CI archives as
 // an artifact.
 //
-//	go run ./cmd/benchreport                             # BENCH_PR4.json, 1 iteration each
+//	go run ./cmd/benchreport                             # BENCH_PR10.json, 1 iteration each
 //	go run ./cmd/benchreport -benchtime 100x -out p.json # steadier numbers
 //	go run ./cmd/benchreport -bench 'BenchmarkDistKernels' -pkgs ./internal/dist
 package main
@@ -58,7 +58,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	bench := flag.String("bench", smokeSet, "benchmark selection regexp (go test -bench)")
 	pkgs := flag.String("pkgs", "./...", "package pattern to benchmark")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")

@@ -39,8 +39,15 @@ import (
 type Engine struct {
 	lib         *cell.Library
 	bins        int
+	binsSet     bool // WithBins was called (0 then means "invalid", not "default")
 	objective   Objective
 	parallelism int
+
+	// convolveCrossover, when positive, is the default FFT dispatch
+	// threshold sessions opened by this engine install (see
+	// WithConvolveCrossover); 0 leaves the process auto-calibration
+	// in charge.
+	convolveCrossover int
 
 	// counters is the engine-wide atomic session rollup behind Stats:
 	// every session the engine opens (Open, Optimize, OptimizeSuite)
@@ -56,6 +63,20 @@ type Engine struct {
 // Option configures an Engine under construction.
 type Option func(*Engine)
 
+// ConfigError reports an Engine option that was given an invalid
+// value. New and Open return it (wrapped nowhere — errors.As directly)
+// so callers can distinguish a misconfiguration from an environmental
+// failure and report which knob to fix.
+type ConfigError struct {
+	Option string // the option name, e.g. "WithBins"
+	Value  any    // the rejected value
+	Reason string // why it was rejected
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("statsize: %s(%v): %s", e.Option, e.Value, e.Reason)
+}
+
 // WithLibrary selects the cell library for designs the engine builds.
 // The default is DefaultLibrary(). The library must not be mutated
 // while the engine is in use.
@@ -63,8 +84,15 @@ func WithLibrary(lib *Library) Option { return func(e *Engine) { e.lib = lib } }
 
 // WithBins sets the default SSTA grid resolution (bins across the
 // estimated circuit delay). The default is 600, the experiments'
-// setting.
-func WithBins(n int) Option { return func(e *Engine) { e.bins = n } }
+// setting. Non-positive values are rejected by New with a ConfigError:
+// a zero or negative bin budget has no meaning and historically slipped
+// through construction only to panic deep inside Design.SuggestDT.
+func WithBins(n int) Option {
+	return func(e *Engine) {
+		e.bins = n
+		e.binsSet = true
+	}
+}
 
 // WithObjective sets the default optimization objective. The default is
 // Percentile(0.99), the paper's.
@@ -80,6 +108,16 @@ func WithObjective(o Objective) Option { return func(e *Engine) { e.objective = 
 // serial evaluation.
 func WithParallelism(n int) Option { return func(e *Engine) { e.parallelism = n } }
 
+// WithConvolveCrossover sets the support width (in bins) at which the
+// SSTA convolution kernels switch from the exact direct algorithm to
+// the FFT fast path; 1 forces the FFT everywhere, 0 (the default)
+// keeps the auto-calibrated threshold, which no session at or below
+// the default 600-bin grid can reach. The setting is installed when a
+// session opens and is process-wide dispatch policy — the FFT route
+// agrees with the direct kernel to ~1e-15 of probability mass per bin,
+// so which route runs never changes any documented contract.
+func WithConvolveCrossover(n int) Option { return func(e *Engine) { e.convolveCrossover = n } }
+
 // New builds an Engine from functional options.
 func New(opts ...Option) (*Engine, error) {
 	e := &Engine{cache: make(map[string]*design.Design)}
@@ -92,20 +130,23 @@ func New(opts ...Option) (*Engine, error) {
 	if err := e.lib.Validate(); err != nil {
 		return nil, err
 	}
+	if e.binsSet && e.bins <= 0 {
+		return nil, &ConfigError{Option: "WithBins", Value: e.bins, Reason: "bin budget must be positive"}
+	}
 	if e.bins == 0 {
 		e.bins = 600
-	}
-	if e.bins < 0 {
-		return nil, fmt.Errorf("statsize: negative bin budget %d", e.bins)
 	}
 	if e.objective == nil {
 		e.objective = Percentile(0.99)
 	}
+	if e.parallelism < 0 {
+		return nil, &ConfigError{Option: "WithParallelism", Value: e.parallelism, Reason: "worker bound must be non-negative (0 means GOMAXPROCS)"}
+	}
 	if e.parallelism == 0 {
 		e.parallelism = runtime.GOMAXPROCS(0)
 	}
-	if e.parallelism < 0 {
-		return nil, fmt.Errorf("statsize: negative parallelism %d", e.parallelism)
+	if e.convolveCrossover < 0 {
+		return nil, &ConfigError{Option: "WithConvolveCrossover", Value: e.convolveCrossover, Reason: "crossover must be non-negative (0 means auto-calibrated)"}
 	}
 	return e, nil
 }
@@ -269,6 +310,9 @@ func (e *Engine) buildConfig(opts []RunOption) Config {
 	}
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = e.parallelism
+	}
+	if cfg.ConvolveCrossover <= 0 {
+		cfg.ConvolveCrossover = e.convolveCrossover
 	}
 	return cfg
 }

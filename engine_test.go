@@ -41,16 +41,51 @@ func TestEngineOptionsApply(t *testing.T) {
 }
 
 func TestEngineOptionValidation(t *testing.T) {
-	if _, err := New(WithBins(-1)); err == nil {
-		t.Error("negative bins accepted")
+	// Every rejected option value comes back as a typed *ConfigError
+	// naming the option, so callers can tell misconfiguration apart
+	// from environmental failures.
+	wantConfigError := func(opt string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: invalid value accepted", opt)
+			return
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: err %v is not a *ConfigError", opt, err)
+			return
+		}
+		if ce.Option != opt {
+			t.Errorf("%s: ConfigError names option %q", opt, ce.Option)
+		}
 	}
-	if _, err := New(WithParallelism(-2)); err == nil {
-		t.Error("negative parallelism accepted")
-	}
+	_, err := New(WithBins(-1))
+	wantConfigError("WithBins", err)
+	// Zero was historically accepted by New (it aliased "default") and
+	// then panicked deep inside Design.SuggestDT; it must fail at
+	// construction like every other non-positive budget.
+	_, err = New(WithBins(0))
+	wantConfigError("WithBins", err)
+	_, err = New(WithParallelism(-2))
+	wantConfigError("WithParallelism", err)
+	_, err = New(WithConvolveCrossover(-1))
+	wantConfigError("WithConvolveCrossover", err)
+
 	bad := DefaultLibrary()
 	bad.WMin = -1
 	if _, err := New(WithLibrary(bad)); err == nil {
 		t.Error("invalid library accepted")
+	}
+
+	// The deprecated free function took the same unvalidated bins and
+	// panicked; it now reports the same typed error.
+	d, err := newEngine(t).Benchmark("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *ConfigError
+	if _, err := AnalyzeSSTA(d, 0); !errors.As(err, &ce) {
+		t.Errorf("AnalyzeSSTA(d, 0) err = %v, want *ConfigError", err)
 	}
 }
 

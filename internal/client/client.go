@@ -162,13 +162,41 @@ func retryableStatus(status int) bool {
 	return false
 }
 
+// parseRetryAfter interprets a Retry-After header in both RFC 9110
+// forms. Delta-seconds is the common case; an HTTP-date is converted
+// to a delay relative to the response's own Date header when present
+// (the two stamps come from the same server clock, so their difference
+// is immune to client/server clock skew) and the local clock
+// otherwise. Dates in the past — and negative deltas — clamp to zero,
+// which the backoff treats as "no hint" and replaces with its jittered
+// draw. Unparseable values also yield zero: a garbled hint must not
+// stall or crash the retry loop.
+func parseRetryAfter(value, date string, now time.Time) time.Duration {
+	if s, err := strconv.Atoi(value); err == nil {
+		if s <= 0 {
+			return 0
+		}
+		return time.Duration(s) * time.Second
+	}
+	at, err := http.ParseTime(value)
+	if err != nil {
+		return 0
+	}
+	base := now
+	if d, err := http.ParseTime(date); err == nil {
+		base = d
+	}
+	if delay := at.Sub(base); delay > 0 {
+		return delay
+	}
+	return 0
+}
+
 // parseError reads a non-2xx response into an APIError.
 func parseError(resp *http.Response) *APIError {
 	ae := &APIError{Status: resp.StatusCode}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if s, err := strconv.Atoi(ra); err == nil && s > 0 {
-			ae.RetryAfter = time.Duration(s) * time.Second
-		}
+		ae.RetryAfter = parseRetryAfter(ra, resp.Header.Get("Date"), time.Now())
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {

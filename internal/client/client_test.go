@@ -142,6 +142,66 @@ func TestHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfterForms: both RFC 9110 Retry-After forms resolve to
+// a clamped delay; garbage and past dates degrade to "no hint".
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, time.August, 7, 12, 0, 0, 0, time.UTC)
+	httpDate := func(t time.Time) string { return t.UTC().Format(http.TimeFormat) }
+	cases := []struct {
+		name  string
+		value string
+		date  string
+		want  time.Duration
+	}{
+		{"delta seconds", "7", "", 7 * time.Second},
+		{"delta zero", "0", "", 0},
+		{"delta negative", "-3", "", 0},
+		{"http date vs Date header", httpDate(now.Add(90 * time.Second)), httpDate(now), 90 * time.Second},
+		{"http date vs local clock", httpDate(now.Add(30 * time.Second)), "", 30 * time.Second},
+		{"http date skewed server clock", httpDate(now.Add(time.Hour + 10*time.Second)), httpDate(now.Add(time.Hour)), 10 * time.Second},
+		{"http date in the past", httpDate(now.Add(-time.Minute)), httpDate(now), 0},
+		{"rfc850 date", now.Add(45 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), httpDate(now), 45 * time.Second},
+		{"garbage", "soon", "", 0},
+		{"garbage date header", httpDate(now.Add(20 * time.Second)), "yesterday-ish", 20 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.value, tc.date, now); got != tc.want {
+				t.Errorf("parseRetryAfter(%q, %q) = %v, want %v", tc.value, tc.date, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHonorsRetryAfterHTTPDate: the HTTP-date form is honored end to
+// end, not silently dropped to the jittered draw.
+func TestHonorsRetryAfterHTTPDate(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			now := time.Now()
+			w.Header().Set("Date", now.UTC().Format(http.TimeFormat))
+			w.Header().Set("Retry-After", now.Add(time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"shed","message":"overloaded"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","uptime_s":1,"go_design":"statsized"}`)
+	}))
+	defer ts.Close()
+
+	startAt := time.Now()
+	if _, err := newClient(t, ts.URL).Health(context.Background()); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	// The HTTP-date rounds down to whole seconds, so the observed wait
+	// can be just under the nominal 1s; anything near it proves the
+	// date was parsed (the fallback jitter is capped at 4ms here).
+	if elapsed := time.Since(startAt); elapsed < 500*time.Millisecond {
+		t.Fatalf("retried after %v; the HTTP-date Retry-After demands ~1s", elapsed)
+	}
+}
+
 // TestDeadlineHeaderThreaded: a context deadline becomes X-Deadline-Ms.
 func TestDeadlineHeaderThreaded(t *testing.T) {
 	var sawMs atomic.Int64

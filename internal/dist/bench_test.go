@@ -21,7 +21,29 @@ func kernelOperands(b *testing.B, bins int) (*Dist, *Dist) {
 // counts, in both the allocating and the arena (Into) forms — the
 // machine-readable perf trajectory cmd/benchreport records per PR.
 // Run with -benchmem: the Into forms must show 0 allocs/op warm.
+//
+// Convolve rows dispatch through the crossover (wide shapes take the
+// FFT); ConvolveFFT rows force the FFT route so its own trajectory is
+// visible even at widths the dispatcher would serve directly.
 func BenchmarkDistKernels(b *testing.B) {
+	// Resolve the crossover calibration before timing anything so its
+	// one-time cost cannot land inside a measured iteration (material
+	// at -benchtime=1x, the CI smoke setting).
+	ConvolveCrossover()
+	for _, bins := range []int{400, 1600, 6400} {
+		x, y := kernelOperands(b, bins)
+		ar := NewArena()
+		b.Run(fmt.Sprintf("ConvolveFFT/bins%d/into", bins), func(b *testing.B) {
+			b.ReportAllocs()
+			ar.Reset()
+			convolveFFTInto(ar, x, y) // warm the arena and twiddle tables
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ar.Reset()
+				convolveFFTInto(ar, x, y)
+			}
+		})
+	}
 	for _, bins := range []int{100, 400, 1600} {
 		x, y := kernelOperands(b, bins)
 		ar := NewArena()

@@ -214,7 +214,15 @@ func (d *Dist) cumsum() []float64 {
 // first query and binary-searched afterwards, so repeated quantile
 // queries against one distribution (the slack/criticality tables) cost
 // O(log n) instead of O(n).
+//
+// The domain is [0, 1]: p = 0 answers MinTime (modulo probEps), p = 1
+// answers MaxTime. Out-of-domain inputs — NaN, p < 0, p > 1 — return
+// NaN rather than silently snapping to an in-range quantile; a caller
+// holding an unvalidated probability must check it, not launder it.
 func (d *Dist) Percentile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
 	c := d.cumsum()
 	thr := p - probEps
 	k := sort.Search(len(c), func(i int) bool { return c[i] >= thr })
@@ -225,8 +233,12 @@ func (d *Dist) Percentile(p float64) float64 {
 }
 
 // CDF returns the probability of a value at or below t. Like
-// Percentile it binary-searches the cached cumulative sums.
+// Percentile it binary-searches the cached cumulative sums. A NaN
+// query returns NaN (±Inf behave naturally: -Inf → 0, +Inf → 1).
 func (d *Dist) CDF(t float64) float64 {
+	if math.IsNaN(t) {
+		return math.NaN()
+	}
 	thr := t + probEps*d.dt
 	// n is the number of leading bins whose grid time is at or below
 	// thr; grid times increase strictly with the index, so the
@@ -270,7 +282,25 @@ func Convolve(a, b *Dist) *Dist { return ConvolveInto(nil, a, b) }
 // ConvolveInto is Convolve with the output mass vector and header drawn
 // from ar; a nil arena allocates, making it identical to Convolve. The
 // result values are bit-identical either way.
+//
+// Wide convolutions — both operand supports at or above the process
+// crossover (see SetConvolveCrossover and fft.go) — take an O(n log n)
+// FFT route whose per-bin values agree with the direct kernel to
+// ~1e-15 of mass; everything below the crossover runs the direct
+// kernel bit for bit.
 func ConvolveInto(ar *Arena, a, b *Dist) *Dist {
+	if useFFT(len(a.p), len(b.p)) {
+		return convolveFFTInto(ar, a, b)
+	}
+	return convolveDirectInto(ar, a, b)
+}
+
+// convolveDirectInto is the exact O(n·m) kernel: every output bin is
+// the correctly-rounded sum of its contributing products, accumulated
+// in index order. The FFT route's results are validated against this
+// kernel, and calibration times it, so it must stay reachable without
+// going through the dispatching ConvolveInto.
+func convolveDirectInto(ar *Arena, a, b *Dist) *Dist {
 	out := scratchFloats(ar, len(a.p)+len(b.p)-1)
 	// Convolve with the shorter operand outer so the inner loop runs
 	// long and contiguous.

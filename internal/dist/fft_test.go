@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// forceFFT routes every convolution through the FFT for the duration
+// of a test, restoring the previous setting afterwards.
+func forceFFT(t *testing.T) {
+	t.Helper()
+	prev := SetConvolveCrossover(1)
+	t.Cleanup(func() { SetConvolveCrossover(prev) })
+}
+
+// randWideDist builds a distribution with exactly n support bins of
+// random positive mass (ends guaranteed nonzero), normalized to 1.
+func randWideDist(rng *rand.Rand, dt float64, n int) *Dist {
+	p := make([]float64, n)
+	total := 0.0
+	for i := range p {
+		p[i] = 0.01 + rng.Float64()
+		total += p[i]
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return trim(dt, rng.Intn(41)-20, p)
+}
+
+// compareFFTToDirect checks every property the FFT route promises
+// against the exact kernel: identical support bounds, non-negative
+// mass everywhere, per-bin agreement within tol, and total mass within
+// probEps.
+func compareFFTToDirect(t *testing.T, label string, a, b *Dist, tol float64) {
+	t.Helper()
+	direct := convolveDirectInto(nil, a, b)
+	fft := convolveFFTInto(nil, a, b)
+	if direct.DT() != fft.DT() || direct.I0() != fft.I0() || direct.NumBins() != fft.NumBins() {
+		t.Fatalf("%s: support mismatch: direct (dt=%v i0=%d bins=%d), fft (dt=%v i0=%d bins=%d)",
+			label, direct.DT(), direct.I0(), direct.NumBins(), fft.DT(), fft.I0(), fft.NumBins())
+	}
+	var sumD, sumF float64
+	for k := 0; k < direct.NumBins(); k++ {
+		d, f := direct.MassAt(k), fft.MassAt(k)
+		if f < 0 {
+			t.Fatalf("%s: negative FFT mass %g at bin %d", label, f, k)
+		}
+		if diff := math.Abs(d - f); diff > tol {
+			t.Fatalf("%s: bin %d differs by %g (direct %g, fft %g)", label, k, diff, d, f)
+		}
+		sumD += d
+		sumF += f
+	}
+	if math.Abs(sumD-sumF) > probEps {
+		t.Fatalf("%s: total mass differs by %g", label, sumD-sumF)
+	}
+}
+
+// fftTestTol is the pinned per-bin agreement bound between the FFT and
+// direct convolution routes. The FFT's rounding error per output bin
+// is O(ε·log2 N) of the operand mass scale — observed worst cases sit
+// near 1e-16 for kilobin supports — so 1e-12 (= probEps, the package's
+// own probability-comparison slack) holds with four orders of margin
+// while still failing loudly on any structural defect.
+const fftTestTol = 1e-12
+
+// TestConvolveFFTMatchesDirect pins FFT-vs-direct agreement across
+// support widths straddling the crossover, including the degenerate
+// single-bin and impulse cases.
+func TestConvolveFFTMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct{ na, nb int }{
+		{1, 1},   // both impulses: FFT size 1, pure identity transform
+		{1, 2},   // impulse against the smallest non-trivial support
+		{2, 2},   // FFT size 4
+		{1, 100}, // impulse shifts a wide operand
+		{3, 17},
+		{64, 64},
+		{100, 1000}, // asymmetric widths
+		{767, 769},  // straddling crossoverFloor
+		{768, 768},  // exactly at the floor
+		{800, 880},  // the 1600-bin benchmark shape
+		{1000, 1600},
+	}
+	for _, tc := range cases {
+		a := randWideDist(rng, 0.001, tc.na)
+		b := randWideDist(rng, 0.001, tc.nb)
+		compareFFTToDirect(t, "random", a, b, fftTestTol)
+	}
+
+	// Gaussian operands (the shapes SSTA actually convolves).
+	g1 := mustGauss(t, 1.0/1600, 0.50, 0.50/6)
+	g2 := mustGauss(t, 1.0/1600, 0.55, 0.55/6)
+	compareFFTToDirect(t, "gauss", g1, g2, fftTestTol)
+
+	// Operands with interior zero-mass gaps: the direct kernel yields
+	// structural zeros the FFT fills with rounding noise; clamping and
+	// the per-bin tolerance must absorb it.
+	gap := make([]float64, 900)
+	gap[0], gap[899] = 0.5, 0.5
+	compareFFTToDirect(t, "gap", trim(0.001, -5, gap), randWideDist(rng, 0.001, 800), fftTestTol)
+}
+
+// TestConvolveFFTDispatch pins the crossover policy itself.
+func TestConvolveFFTDispatch(t *testing.T) {
+	// The floor guarantees exactness for every grid at or below the
+	// default 600-bin budget: SuggestDT spans ~1.3× the estimated max
+	// delay across the budget, so supports top out near 0.96·bins ≈
+	// 578 bins at 600 — comfortably under the floor. Pin the margin.
+	if crossoverFloor < 600 {
+		t.Fatalf("crossoverFloor %d < 600: supports on default-budget grids could reach the FFT", crossoverFloor)
+	}
+
+	// Below the floor the dispatch must answer "direct" without even
+	// calibrating; the smaller operand governs.
+	prev := SetConvolveCrossover(0)
+	defer SetConvolveCrossover(prev)
+	if useFFT(crossoverFloor-1, 100000) {
+		t.Fatal("useFFT fired below the floor under auto-calibration")
+	}
+	if useFFT(100000, crossoverFloor-1) {
+		t.Fatal("useFFT must key on the smaller operand")
+	}
+
+	// An explicit override beats the floor in both directions.
+	SetConvolveCrossover(1)
+	if !useFFT(1, 1) {
+		t.Fatal("SetConvolveCrossover(1) did not force the FFT route")
+	}
+	SetConvolveCrossover(1 << 20)
+	if useFFT(5000, 5000) {
+		t.Fatal("a high explicit crossover did not suppress the FFT route")
+	}
+
+	// The resolved threshold is never below the floor when automatic.
+	SetConvolveCrossover(0)
+	if cx := ConvolveCrossover(); cx < crossoverFloor {
+		t.Fatalf("auto-calibrated crossover %d below floor %d", cx, crossoverFloor)
+	}
+}
+
+// TestConvolveDispatchBitIdenticalBelowCrossover verifies the whole
+// point of the crossover: ConvolveInto on sub-crossover supports is
+// the direct kernel, bit for bit — the property that keeps the golden
+// traces hex-identical across this change.
+func TestConvolveDispatchBitIdenticalBelowCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	prev := SetConvolveCrossover(0)
+	defer SetConvolveCrossover(prev)
+	for _, n := range []int{1, 60, 400, 578, crossoverFloor - 1} {
+		a := randWideDist(rng, 0.01, n)
+		b := randWideDist(rng, 0.01, (n+1)/2)
+		bitIdentical(t, "dispatch", convolveDirectInto(nil, a, b), ConvolveInto(nil, a, b))
+	}
+}
+
+// TestConvolveFFTArenaAllocsZero extends the PR 4 warm-path pin to the
+// FFT route: once the arena and the twiddle tables for the padded size
+// exist, a convolution through the FFT performs zero allocations.
+func TestConvolveFFTArenaAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randWideDist(rng, 0.001, 900)
+	b := randWideDist(rng, 0.001, 800)
+	ar := NewArena()
+	cycle := func() {
+		ar.Reset()
+		convolveFFTInto(ar, a, b)
+	}
+	cycle() // warm: grow the arena, build the tables
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		t.Fatalf("warm FFT convolution allocated %v times per run, want 0", n)
+	}
+}
+
+// TestSubConvolveFFT checks the backward-pass kernel inherits the fast
+// path (SubConvolve is Convolve against the negated operand) and still
+// matches its direct form.
+func TestSubConvolveFFT(t *testing.T) {
+	forceFFT(t)
+	rng := rand.New(rand.NewSource(11))
+	a := randWideDist(rng, 0.001, 900)
+	b := randWideDist(rng, 0.001, 850)
+	direct := convolveDirectInto(nil, a, NegInto(nil, b))
+	fft := SubConvolveInto(nil, a, b)
+	if direct.I0() != fft.I0() || direct.NumBins() != fft.NumBins() {
+		t.Fatalf("support mismatch: direct (i0=%d bins=%d), fft (i0=%d bins=%d)",
+			direct.I0(), direct.NumBins(), fft.I0(), fft.NumBins())
+	}
+	for k := 0; k < direct.NumBins(); k++ {
+		if diff := math.Abs(direct.MassAt(k) - fft.MassAt(k)); diff > fftTestTol {
+			t.Fatalf("bin %d differs by %g", k, diff)
+		}
+	}
+}
+
+// FuzzConvolveFFT drives randomized operand shapes through both routes
+// and demands the full agreement contract at every width, including
+// widths far below and above the crossover.
+func FuzzConvolveFFT(f *testing.F) {
+	f.Add(int64(1), uint16(1), uint16(1))
+	f.Add(int64(2), uint16(1), uint16(300))
+	f.Add(int64(3), uint16(40), uint16(40))
+	f.Add(int64(4), uint16(700), uint16(900))
+	f.Add(int64(5), uint16(1500), uint16(1400))
+	f.Fuzz(func(t *testing.T, seed int64, wa, wb uint16) {
+		na := int(wa)%1500 + 1
+		nb := int(wb)%1500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randWideDist(rng, 0.001, na)
+		b := randWideDist(rng, 0.001, nb)
+		compareFFTToDirect(t, "fuzz", a, b, fftTestTol)
+	})
+}
+
+// TestPercentileCDFDomain pins the out-of-domain contract: NaN in, NaN
+// out — never a silently in-range answer.
+func TestPercentileCDFDomain(t *testing.T) {
+	d := trim(0.5, 2, []float64{0.25, 0.5, 0.25})
+	for _, p := range []float64{math.NaN(), -0.01, 1.01, math.Inf(1), math.Inf(-1)} {
+		if q := d.Percentile(p); !math.IsNaN(q) {
+			t.Errorf("Percentile(%v) = %v, want NaN", p, q)
+		}
+	}
+	// The closed domain endpoints stay answered.
+	if q := d.Percentile(0); q != d.MinTime() {
+		t.Errorf("Percentile(0) = %v, want MinTime %v", q, d.MinTime())
+	}
+	if q := d.Percentile(1); q != d.MaxTime() {
+		t.Errorf("Percentile(1) = %v, want MaxTime %v", q, d.MaxTime())
+	}
+	if c := d.CDF(math.NaN()); !math.IsNaN(c) {
+		t.Errorf("CDF(NaN) = %v, want NaN", c)
+	}
+	if c := d.CDF(math.Inf(-1)); c != 0 {
+		t.Errorf("CDF(-Inf) = %v, want 0", c)
+	}
+	if c := d.CDF(math.Inf(1)); math.Abs(c-1) > probEps {
+		t.Errorf("CDF(+Inf) = %v, want 1", c)
+	}
+}

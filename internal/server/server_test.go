@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -275,6 +276,7 @@ func TestOpenValidation(t *testing.T) {
 		{"bad objective", &OpenSessionRequest{Design: "c17", Objective: "median"}, 400, "bad_objective"},
 		{"objective out of range", &OpenSessionRequest{Design: "c17", Objective: "p250"}, 400, "bad_objective"},
 		{"negative bins", []byte(`{"design":"c17","bins":-3}`), 400, "bad_bins"},
+		{"bins over cap", []byte(`{"design":"c17","bins":70000}`), 400, "bad_bins"},
 		{"long name", &OpenSessionRequest{Design: strings.Repeat("x", 300)}, 400, "bad_name"},
 		{"malformed json", []byte(`{"design":`), 400, "bad_json"},
 		{"trailing data", []byte(`{"design":"c17"} extra`), 400, "bad_json"},
@@ -289,6 +291,29 @@ func TestOpenValidation(t *testing.T) {
 				t.Fatalf("code %q, want %q", code, tc.code)
 			}
 		})
+	}
+}
+
+// TestOpenBinsEdgeValues pins the daemon's handling of bins values that
+// pass validation: every in-range budget — including the degenerate
+// 1-bin grid — must open a working session, never escalate to a
+// 500-via-recover from a panic deeper in the engine.
+func TestOpenBinsEdgeValues(t *testing.T) {
+	_, ts := newHTTP(t, Config{})
+	for _, bins := range []int{1, 16, 1 << 16} {
+		req := &OpenSessionRequest{Design: "c17", Client: fmt.Sprintf("bins-%d", bins), Bins: bins}
+		status, body := postJSON(t, ts.URL+"/v1/sessions", req)
+		if status != http.StatusCreated {
+			t.Fatalf("bins=%d: status %d, want 201 (%s)", bins, status, body)
+		}
+		var sess OpenSessionResponse
+		if err := json.Unmarshal(body, &sess); err != nil {
+			t.Fatalf("bins=%d: %v", bins, err)
+		}
+		status, body = postJSON(t, ts.URL+"/v1/sessions/"+sess.SessionID+"/analyze", &AnalyzeRequest{})
+		if status != http.StatusOK {
+			t.Fatalf("bins=%d: analyze status %d, want 200 (%s)", bins, status, body)
+		}
 	}
 }
 

@@ -55,6 +55,29 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
+// TestCorpusFFTForced reruns the oracle with every convolution routed
+// through the FFT fast path (crossover forced to 1): the DKW bounds
+// against Monte Carlo must hold identically, proving the FFT route is
+// a drop-in numeric replacement and not just close-on-average. A
+// smaller corpus keeps the double Monte Carlo cost in budget; the
+// ISCAS replicas stay in because their deep topologies chain the most
+// convolutions.
+func TestCorpusFFTForced(t *testing.T) {
+	prev := dist.SetConvolveCrossover(1)
+	defer dist.SetConvolveCrossover(prev)
+
+	lib := cell.Default180nm()
+	opts := testOptions(t)
+	opts.Corpus.N = 10
+	sum, err := Run(context.Background(), lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Ok() {
+		t.Fatalf("validation failures with FFT forced on:\n%s", sum.Report())
+	}
+}
+
 // TestCorpusDeterministic: the corpus is a pure function of its
 // options — reruns must yield identical spec sequences, or reproducers
 // would not reproduce.

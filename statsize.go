@@ -184,6 +184,9 @@ func AnalyzeSTA(d *Design) *STAResult { return sta.Analyze(d) }
 // Deprecated: use Engine.AnalyzeSSTA, which takes a context and the
 // engine's configured resolution.
 func AnalyzeSSTA(d *Design, bins int) (*Analysis, error) {
+	if bins <= 0 {
+		return nil, &ConfigError{Option: "AnalyzeSSTA", Value: bins, Reason: "bin budget must be positive"}
+	}
 	return ssta.Analyze(context.Background(), d, d.SuggestDT(bins))
 }
 
